@@ -1,0 +1,59 @@
+"""Ablations over VB's and BWD's design ingredients (DESIGN.md section 4).
+
+Not a paper figure: quantifies how much each mechanism ingredient carries,
+so readers can see *why* the design is the way it is.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.runners import format_table
+from repro.runners.ablations import bwd_ablation, vb_ablation
+
+
+def test_vb_ablation(benchmark):
+    rows = run_once(benchmark, vb_ablation, work_scale=0.5)
+    by = {}
+    for r in rows:
+        by.setdefault(r.workload, {})[r.variant] = r.duration_ns
+    print()
+    for app, d in by.items():
+        print(
+            format_table(
+                ["variant", "time (ms)", "vs full VB"],
+                [
+                    [v, t / 1e6, t / d["full VB"]]
+                    for v, t in d.items()
+                ],
+                title=f"VB ablation — {app}, 32T on 8 cores",
+            )
+        )
+    for app, d in by.items():
+        # Full VB beats vanilla decisively.
+        assert d["full VB"] < 0.75 * d["vanilla (no VB)"], app
+        # Each ingredient removal costs something (or at least nothing).
+        assert d["no immediate schedule"] >= 0.95 * d["full VB"], app
+        assert d["no disable rule"] >= 0.95 * d["full VB"], app
+
+
+def test_bwd_ablation(benchmark):
+    rows = run_once(benchmark, bwd_ablation, work_scale=0.4)
+    by = {}
+    for r in rows:
+        by.setdefault(r.workload, {})[r.variant] = r.duration_ns
+    print()
+    for wl, d in by.items():
+        print(
+            format_table(
+                ["variant", "time (ms)", "vs full BWD"],
+                [[v, t / 1e6, t / d["full BWD"]] for v, t in d.items()],
+                title=f"BWD ablation — {wl}, 32T on 8 cores",
+            )
+        )
+    for wl, d in by.items():
+        assert d["full BWD"] < 0.7 * d["vanilla (no BWD)"], wl
+        # A coarser period detects later and recovers less.
+        assert d["period 400us"] >= 0.95 * d["full BWD"], wl
+        # The skip flag matters: without it spinners come right back.
+        assert d["no skip flag"] >= 0.95 * d["full BWD"], wl

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""CPU elasticity: one run, CPUs hot-plugged up and down underneath it.
+
+An application provisioned with 32 threads keeps all CPUs busy as the
+container's allocation grows from 2 to 32 cores and shrinks back — no
+code changes, no re-threading.  A pinned variant crashes the moment its
+CPU disappears, which is the paper's argument against pinning (Figure 11).
+
+Run:  python examples/elastic_scaling.py
+"""
+
+from repro import Kernel, SimulationError, optimized_config
+from repro.prog.actions import BarrierWait, Compute
+from repro.sync import Barrier
+
+MS = 1_000_000
+US = 1_000
+
+
+def build(kernel: Kernel, nthreads: int, pinned: bool = False):
+    barrier = Barrier(nthreads)
+    work_ns = 150 * US
+
+    def worker(i: int):
+        while True:  # run until the demo stops the clock
+            yield Compute(work_ns)
+            yield BarrierWait(barrier)
+
+    online = kernel.online_cpus()
+    for i in range(nthreads):
+        pin = online[i % len(online)] if pinned else None
+        kernel.spawn(worker(i), name=f"w{i}", pinned_cpu=pin)
+
+
+def measure_phase(kernel: Kernel, ns: int) -> float:
+    """Utilization over the next ``ns`` of virtual time."""
+    busy0 = sum(c.busy_ns + c.poll_ns for c in kernel.cpus)
+    t0 = kernel.now
+    kernel.run_for(ns)
+    busy1 = sum(c.busy_ns + c.poll_ns for c in kernel.cpus)
+    online = len(kernel.online_cpus())
+    return (busy1 - busy0) / (kernel.now - t0) / online * 100
+
+
+def main() -> None:
+    kernel = Kernel(optimized_config(cores=8, bwd=False))
+    build(kernel, nthreads=32)
+
+    print("32 threads under a changing CPU allocation (VB kernel):")
+    print(f"{'cores':>6} | {'utilization of online CPUs':>27}")
+    for cores in (8, 2, 4, 16, 32, 8):
+        kernel.set_online_cpus(cores)
+        util = measure_phase(kernel, 30 * MS)
+        bar = "#" * int(util / 3)
+        print(f"{cores:>6} | {util:5.1f}%  {bar}")
+    kernel.shutdown()
+
+    print()
+    print("The same application with pinned threads, shrinking 8 -> 4:")
+    pinned = Kernel(optimized_config(cores=8, bwd=False))
+    build(pinned, nthreads=32, pinned=True)
+    pinned.run_for(10 * MS)
+    try:
+        pinned.set_online_cpus(4)
+        print("  unexpectedly survived")
+    except SimulationError as exc:
+        print(f"  crashed, as real pinned programs do: {exc}")
+    pinned.shutdown()
+
+
+if __name__ == "__main__":
+    main()

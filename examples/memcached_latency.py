@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Memcached tail latency under thread oversubscription (Figure 12).
+
+A memcached server with 16 worker threads is driven by closed-loop
+mutilate-style clients (10:1 GET:SET) while the container's CPU allocation
+varies.  Vanilla Linux pays for oversubscription in the p95/p99 tail; the
+virtual-blocking kernel keeps the extra workers nearly free — so
+provisioning 16 workers is safe and pays off the moment more cores arrive.
+
+Run:  python examples/memcached_latency.py
+"""
+
+from repro import optimized_config, vanilla_config
+from repro.workloads.memcached import MemcachedConfig, memcached_run
+
+
+def main() -> None:
+    print("memcached, closed-loop load, 10:1 GET:SET")
+    print(
+        f"{'cores':>5} {'setting':>16} {'kops/s':>8} "
+        f"{'avg us':>8} {'p95 us':>8} {'p99 us':>8}"
+    )
+    for cores in (4, 8, 16):
+        settings = [
+            ("4T  vanilla", vanilla_config(cores=cores), 4),
+            ("16T vanilla", vanilla_config(cores=cores), 16),
+            ("16T VB", optimized_config(cores=cores, bwd=False), 16),
+        ]
+        for label, cfg, workers in settings:
+            result = memcached_run(
+                cfg, MemcachedConfig(workers=workers), duration_ms=250
+            )
+            s = result.latency_summary()
+            print(
+                f"{cores:>5} {label:>16} {result.throughput_ops / 1e3:>8.1f} "
+                f"{s.mean:>8.1f} {s.p95:>8.1f} {s.p99:>8.1f}"
+            )
+        print()
+    print(
+        "Oversubscribed vanilla workers lose their tails to futex wakeups\n"
+        "and migration churn; virtual blocking removes both."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""OpenMP loop scheduling under thread oversubscription.
+
+The NPB benchmarks (a third of the paper's suite) are OpenMP programs:
+teams of threads executing parallel-for regions separated by implicit
+barriers.  This example runs the same irregular loop under static, dynamic,
+and guided scheduling, with the team 4x oversubscribed, on the vanilla and
+VB kernels:
+
+* static scheduling leaves the barrier waiting on unlucky threads;
+* dynamic scheduling balances the loop but hammers the shared chunk
+  counter;
+* in all cases, the end-of-region barrier is where vanilla Linux loses
+  time once threads outnumber cores — and where VB gets it back.
+
+Run:  python examples/openmp_scheduling.py
+"""
+
+import numpy as np
+
+from repro import Kernel, optimized_config, vanilla_config
+from repro.prog.openmp import LoopSchedule, parallel_for
+
+US = 1_000
+REGIONS = 16
+ITERS = 256
+
+
+def run(config, nthreads: int, schedule: LoopSchedule) -> float:
+    rng = np.random.default_rng(11)
+    costs = [int(c) for c in rng.exponential(30 * US, size=ITERS)]
+    kernel = Kernel(config)
+    programs, _ = parallel_for(
+        costs, nthreads, schedule, regions=REGIONS
+    )
+    for i, gen in enumerate(programs):
+        kernel.spawn(gen, name=f"omp{i}")
+    kernel.run_to_completion()
+    return kernel.now / 1e6
+
+
+def main() -> None:
+    schedules = [
+        LoopSchedule("static", chunk=8),
+        LoopSchedule("dynamic", chunk=1),
+        LoopSchedule("guided", chunk=1),
+    ]
+    print("Irregular parallel-for, 16 regions, 8 simulated cores (ms)")
+    print(f"{'schedule':>14} {'8T vanilla':>11} {'32T vanilla':>12} "
+          f"{'32T VB':>8}")
+    for sched in schedules:
+        base = run(vanilla_config(cores=8), 8, sched)
+        over = run(vanilla_config(cores=8), 32, sched)
+        vb = run(optimized_config(cores=8, bwd=False), 32, sched)
+        label = f"{sched.kind}({sched.chunk})"
+        print(f"{label:>14} {base:>11.2f} {over:>12.2f} {vb:>8.2f}")
+    print()
+    print(
+        "Dynamic scheduling fixes the intra-region imbalance; virtual\n"
+        "blocking fixes the inter-region barrier cost — oversubscribed\n"
+        "teams need both."
+    )
+
+
+if __name__ == "__main__":
+    main()

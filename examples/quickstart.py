@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: thread oversubscription with and without virtual blocking.
+
+Builds a barrier-synchronized workload (the pattern that hurts most under
+vanilla Linux), runs it 4x oversubscribed (32 threads on 8 simulated cores)
+on the vanilla kernel and on the paper's optimized kernel, and against the
+8-threads-on-8-cores baseline.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Kernel, collect, optimized_config, vanilla_config
+from repro.prog.actions import BarrierWait, Compute
+from repro.sync import Barrier
+
+US = 1_000
+PHASES = 40
+PHASE_WORK_US = 220  # per-thread compute between barriers at 32 threads
+
+
+def run(config, nthreads: int) -> tuple[float, object]:
+    kernel = Kernel(config)
+    barrier = Barrier(nthreads)
+    # Strong scaling: total work per phase is fixed; more threads means
+    # finer pieces and more frequent synchronization.
+    work_ns = PHASE_WORK_US * US * 32 // nthreads
+
+    def worker(i: int):
+        for _ in range(PHASES):
+            yield Compute(work_ns)
+            yield BarrierWait(barrier)
+
+    for i in range(nthreads):
+        kernel.spawn(worker(i), name=f"worker{i}")
+    kernel.run_to_completion()
+    return kernel.now / 1e6, collect(kernel)
+
+
+def main() -> None:
+    baseline_ms, baseline = run(vanilla_config(cores=8), nthreads=8)
+    vanilla_ms, vanilla = run(vanilla_config(cores=8), nthreads=32)
+    vb_ms, vb = run(optimized_config(cores=8, bwd=False), nthreads=32)
+
+    print("Barrier workload, 8 simulated cores")
+    print(f"  8 threads,  vanilla   : {baseline_ms:7.2f} ms  (baseline)")
+    print(
+        f"  32 threads, vanilla   : {vanilla_ms:7.2f} ms  "
+        f"({vanilla_ms / baseline_ms:.2f}x, "
+        f"{vanilla.total_migrations} migrations, "
+        f"util {vanilla.cpu_utilization_pct:.0f}/800)"
+    )
+    print(
+        f"  32 threads, VB kernel : {vb_ms:7.2f} ms  "
+        f"({vb_ms / baseline_ms:.2f}x, "
+        f"{vb.total_migrations} migrations, "
+        f"util {vb.cpu_utilization_pct:.0f}/800)"
+    )
+    print()
+    print(
+        "Virtual blocking removes the futex sleep/wakeup overhead and the\n"
+        "migration storm, making 4x thread oversubscription essentially\n"
+        "free — which is what lets applications exploit CPU elasticity."
+    )
+
+
+if __name__ == "__main__":
+    main()

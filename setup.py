@@ -1,0 +1,22 @@
+"""Setup shim for offline editable installs.
+
+The environment has no network access and no ``wheel`` package, so the
+PEP 517 editable-install path (which builds an editable wheel) is
+unavailable.  Keeping a ``setup.py`` and omitting ``[build-system]`` from
+``pyproject.toml`` lets pip use the legacy ``setup.py develop`` route.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Towards Exploiting CPU Elasticity via Efficient "
+        "Thread Oversubscription' (HPDC '21)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

@@ -1,0 +1,89 @@
+"""repro — reproduction of "Towards Exploiting CPU Elasticity via Efficient
+Thread Oversubscription" (HPDC '21).
+
+A deterministic discrete-event simulator of a multicore machine running a
+CFS-like kernel, with the paper's two contributions — **virtual blocking**
+(`repro.core.virtual_blocking`) and **busy-waiting detection**
+(`repro.core.bwd`) — implemented inside the simulated kernel, plus every
+workload and baseline the paper evaluates.
+
+Quickstart::
+
+    from repro import Kernel, vanilla_config, optimized_config
+    from repro.prog.actions import Compute, BarrierWait
+    from repro.sync import Barrier
+
+    cfg = optimized_config(cores=8)       # VB + BWD kernel
+    kernel = Kernel(cfg)
+    bar = Barrier(32)
+
+    def worker(i):
+        for _ in range(100):
+            yield Compute(200_000)        # 200 us of work
+            yield BarrierWait(bar)
+
+    for i in range(32):                   # 4x thread oversubscription
+        kernel.spawn(worker(i), name=f"w{i}")
+    kernel.run_to_completion()
+    print(f"finished at {kernel.now / 1e6:.2f} ms")
+
+Experiment drivers for every figure and table live in
+`repro.runners.figures`.
+"""
+
+from .config import (
+    SimConfig,
+    HardwareConfig,
+    SchedulerConfig,
+    FutexConfig,
+    VirtualBlockingConfig,
+    BwdConfig,
+    PleConfig,
+    UserSyncCosts,
+    ExecMode,
+    vanilla_config,
+    optimized_config,
+    ple_config,
+)
+from .errors import (
+    ReproError,
+    ConfigError,
+    SimulationError,
+    DeadlockError,
+    ProgramError,
+    TopologyError,
+)
+from .kernel import Kernel, Task, TaskState, ExecProfile
+from .metrics import RunStats, collect, percentile, summarize_latencies
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SimConfig",
+    "HardwareConfig",
+    "SchedulerConfig",
+    "FutexConfig",
+    "VirtualBlockingConfig",
+    "BwdConfig",
+    "PleConfig",
+    "UserSyncCosts",
+    "ExecMode",
+    "vanilla_config",
+    "optimized_config",
+    "ple_config",
+    "ReproError",
+    "ConfigError",
+    "SimulationError",
+    "DeadlockError",
+    "ProgramError",
+    "TopologyError",
+    "Kernel",
+    "Task",
+    "TaskState",
+    "ExecProfile",
+    "RunStats",
+    "collect",
+    "percentile",
+    "summarize_latencies",
+    "__version__",
+]

@@ -1,0 +1,6 @@
+"""The paper's contributions: virtual blocking and busy-waiting detection."""
+
+from .virtual_blocking import VirtualBlockingPolicy
+from .bwd import BwdMonitor, BwdStats
+
+__all__ = ["VirtualBlockingPolicy", "BwdMonitor", "BwdStats"]

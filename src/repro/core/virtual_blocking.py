@@ -1,0 +1,60 @@
+"""Virtual blocking (VB) — Section 3.1.
+
+VB emulates the *effect* of sleeping by skipping blocked threads in CPU
+scheduling instead of moving them between sleep queues and runqueues:
+
+* a ``thread_state`` flag on the task marks it blocked;
+* the task stays on its CPU's runqueue, re-inserted at the tail with an
+  arbitrarily large virtual runtime (``VB_SENTINEL``), so ``pick_next``
+  never reaches it while any runnable task exists;
+* waking clears the flag, restores the saved vruntime (with an
+  immediate-schedule preference), and re-keys the task in place — no core
+  selection, no cross-runqueue locking, no sleep/runnable load swings;
+* if every task on a core is blocked, each briefly runs to poll its flag;
+* VB turns itself off while the bucket's waiter count is below the online
+  core count (all waiters could get a dedicated core on simultaneous
+  wakeup, so the vanilla path is not a bottleneck).
+
+The scheduling-side mechanics live in `repro.kernel.kernel`; this module
+holds the policy decision and the counters the evaluation reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import VirtualBlockingConfig
+
+
+@dataclass
+class VbStats:
+    vb_blocks: int = 0
+    vanilla_blocks: int = 0
+    vb_wakes: int = 0  # in-place wakes (oversubscribed bucket)
+    vb_placed_wakes: int = 0  # wakes with core selection (VB disabled)
+    vanilla_wakes: int = 0
+    all_blocked_polls: int = 0
+    disabled_undersubscribed: int = 0  # times the waiter<cores rule fired
+
+
+class VirtualBlockingPolicy:
+    """Holds the VB configuration, counters, and the disable rule."""
+
+    def __init__(self, config: VirtualBlockingConfig):
+        self.config = config
+        self.stats = VbStats()
+
+    def wake_in_place(self, bucket_waiters: int, online_cpus: int) -> bool:
+        """The paper's disable rule, applied at wakeup: if the threads
+        waiting on this bucket are fewer than the online cores, they can
+        all get dedicated cores when woken simultaneously — so the wake
+        selects cores like a traditional wakeup instead of re-keying the
+        waiters in place."""
+        if not self.config.enabled:
+            return False
+        if self.config.disable_when_undersubscribed and (
+            bucket_waiters < online_cpus
+        ):
+            self.stats.disabled_undersubscribed += 1
+            return False
+        return True

@@ -1,0 +1,27 @@
+"""Hardware model: topology, caches, TLBs, LBR, PMCs, prefetcher, PLE."""
+
+from .topology import CpuInfo, Topology
+from .cache import SetAssociativeCache, CacheHierarchy
+from .tlb import TwoLevelTlb
+from .prefetcher import StreamPrefetcher
+from .lbr import BranchRecord, LastBranchRecord, synthesize_lbr
+from .pmc import PmcWindow, synthesize_pmc
+from .memmodel import AccessPattern, MemoryModel
+from .ple import PauseLoopExiting
+
+__all__ = [
+    "CpuInfo",
+    "Topology",
+    "SetAssociativeCache",
+    "CacheHierarchy",
+    "TwoLevelTlb",
+    "StreamPrefetcher",
+    "BranchRecord",
+    "LastBranchRecord",
+    "synthesize_lbr",
+    "PmcWindow",
+    "synthesize_pmc",
+    "AccessPattern",
+    "MemoryModel",
+    "PauseLoopExiting",
+]

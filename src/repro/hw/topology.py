@@ -1,0 +1,99 @@
+"""CPU topology: sockets, physical cores, hyperthreads, online sets.
+
+The paper's testbed is a dual-socket Xeon.  Containers are given a subset of
+logical CPUs; with the common BIOS numbering logical CPUs alternate sockets,
+so even a small cpuset spans both NUMA nodes — which is why Table 1 sees
+cross-node migrations even at 8 cores.  The ``spread`` policy models that
+numbering; ``pack`` fills one socket first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import HardwareConfig
+from ..errors import TopologyError
+
+
+@dataclass(frozen=True)
+class CpuInfo:
+    """One online logical CPU."""
+
+    cpu_id: int  # dense index among online CPUs [0, n)
+    core_id: int  # physical core (global)
+    socket_id: int  # NUMA node
+    smt_id: int  # 0 or 1: which hardware thread of the core
+
+
+class Topology:
+    """The set of online logical CPUs handed to the workload."""
+
+    def __init__(
+        self,
+        hw: HardwareConfig,
+        online_cpus: int | None = None,
+        policy: str = "spread",
+    ):
+        self.hw = hw
+        total = hw.total_cpus
+        n = total if online_cpus is None else online_cpus
+        if n < 1 or n > total:
+            raise TopologyError(
+                f"online_cpus={n} out of range [1, {total}] for this machine"
+            )
+        if policy not in ("spread", "pack"):
+            raise TopologyError(f"unknown allocation policy {policy!r}")
+        self.policy = policy
+        self.cpus: list[CpuInfo] = self._allocate(n)
+        self._by_core: dict[int, list[CpuInfo]] = {}
+        for c in self.cpus:
+            self._by_core.setdefault(c.core_id, []).append(c)
+
+    def _allocate(self, n: int) -> list[CpuInfo]:
+        hw = self.hw
+        # Enumerate physical cores in the chosen order; SMT siblings of a
+        # core are taken consecutively (a "core group").
+        groups: list[tuple[int, int]] = []  # (phys_core, socket)
+        for i in range(hw.total_cores):
+            if self.policy == "spread":
+                socket = i % hw.sockets
+                phys_core = socket * hw.cores_per_socket + i // hw.sockets
+            else:
+                phys_core = i
+                socket = i // hw.cores_per_socket
+            groups.append((phys_core, socket))
+        cpus: list[CpuInfo] = []
+        cpu_id = 0
+        for phys_core, socket in groups:
+            for smt in range(hw.smt):
+                if cpu_id >= n:
+                    return cpus
+                cpus.append(CpuInfo(cpu_id, phys_core, socket, smt))
+                cpu_id += 1
+        return cpus
+
+    def __len__(self) -> int:
+        return len(self.cpus)
+
+    def node_of(self, cpu_id: int) -> int:
+        return self.cpus[cpu_id].socket_id
+
+    def core_of(self, cpu_id: int) -> int:
+        return self.cpus[cpu_id].core_id
+
+    def same_node(self, a: int, b: int) -> bool:
+        return self.cpus[a].socket_id == self.cpus[b].socket_id
+
+    def smt_sibling(self, cpu_id: int) -> int | None:
+        """The online sibling hyperthread sharing this CPU's core, if any."""
+        info = self.cpus[cpu_id]
+        for other in self._by_core[info.core_id]:
+            if other.cpu_id != cpu_id:
+                return other.cpu_id
+        return None
+
+    def nodes(self) -> list[int]:
+        return sorted({c.socket_id for c in self.cpus})
+
+    def cpus_on_node(self, node: int) -> list[int]:
+        return [c.cpu_id for c in self.cpus if c.socket_id == node]

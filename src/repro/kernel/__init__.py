@@ -1,0 +1,21 @@
+"""Simulated OS kernel: tasks, CFS scheduling, futex, epoll, load balancing."""
+
+from .task import Task, TaskState, RunMode, ExecProfile, nice_to_weight
+from .runqueue import CfsRunqueue, VB_SENTINEL
+from .locks import SimLockTimeline
+from .futex import FutexTable, FutexBucket
+from .kernel import Kernel
+
+__all__ = [
+    "Task",
+    "TaskState",
+    "RunMode",
+    "ExecProfile",
+    "nice_to_weight",
+    "CfsRunqueue",
+    "VB_SENTINEL",
+    "SimLockTimeline",
+    "FutexTable",
+    "FutexBucket",
+    "Kernel",
+]

@@ -1,0 +1,39 @@
+"""epoll instance: event-based blocking for cloud workloads (Section 4.2).
+
+Memcached worker threads block in ``epoll_wait`` until client requests
+arrive.  The instance holds a FIFO of posted events; blocking and waking go
+through the same futex machinery (and hence the same virtual-blocking
+optimization — the paper implemented VB in epoll by the same sleep-queue
+removal and schedule-skipping).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+
+class EpollInstance:
+    """A simulated epoll file descriptor set."""
+
+    __slots__ = ("name", "pending", "events_posted", "events_delivered")
+
+    def __init__(self, name: str = "epoll"):
+        self.name = name
+        self.pending: deque[Any] = deque()
+        self.events_posted = 0
+        self.events_delivered = 0
+
+    def post(self, payload: Any) -> None:
+        self.pending.append(payload)
+        self.events_posted += 1
+
+    def take(self, max_events: int) -> list[Any]:
+        batch = []
+        while self.pending and len(batch) < max_events:
+            batch.append(self.pending.popleft())
+        self.events_delivered += len(batch)
+        return batch
+
+    def __len__(self) -> int:
+        return len(self.pending)

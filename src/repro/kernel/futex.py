@@ -1,0 +1,64 @@
+"""Futex hash buckets (Figure 5).
+
+The table maps a user-level synchronization object to a
+:class:`FutexBucket` holding the ordered waiter queue and the bucket's
+spinlock timeline.  Waiter-queue *order* is preserved under virtual
+blocking too — the paper keeps the ``futex_hash_bucket`` queue precisely so
+sleep/wakeup order is unchanged (Section 3.1); only the expensive
+sleep-queue <-> runqueue shuttling is eliminated.
+
+The sleep/wakeup *logic* (task parking, core selection, preemption checks)
+lives in `repro.kernel.kernel`, which owns task state.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from .locks import SimLockTimeline
+from .task import Task
+
+
+class FutexBucket:
+    """One hash bucket: FIFO waiter queue + bucket lock timeline."""
+
+    __slots__ = ("key", "waiters", "lock", "total_waits", "total_wakes")
+
+    def __init__(self, key: int):
+        self.key = key
+        self.waiters: deque[Task] = deque()
+        self.lock = SimLockTimeline(f"futex-bucket-{key}")
+        self.total_waits = 0
+        self.total_wakes = 0
+
+    def __len__(self) -> int:
+        return len(self.waiters)
+
+
+class FutexTable:
+    """All futex buckets, keyed by the identity of the user-level object.
+
+    Real futexes hash the userspace address; identity of the primitive
+    object is the faithful equivalent (one bucket per futex word, no
+    aliasing — aliasing collisions are a real-kernel artifact the paper
+    does not exercise).
+    """
+
+    def __init__(self) -> None:
+        self._buckets: dict[int, FutexBucket] = {}
+
+    def bucket(self, obj: Any) -> FutexBucket:
+        key = id(obj)
+        b = self._buckets.get(key)
+        if b is None:
+            b = FutexBucket(key)
+            self._buckets[key] = b
+        return b
+
+    def waiter_count(self, obj: Any) -> int:
+        b = self._buckets.get(id(obj))
+        return len(b.waiters) if b else 0
+
+    def buckets(self) -> list[FutexBucket]:
+        return list(self._buckets.values())

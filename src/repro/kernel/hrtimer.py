@@ -1,0 +1,55 @@
+"""High-resolution periodic timers (hrtimers).
+
+BWD arms one per core at a 100 us period (Section 3.2).  A thin wrapper
+over engine events that re-arms itself and supports cancellation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..sim.engine import Engine, EventHandle
+
+
+class HrTimer:
+    """A periodic timer delivering ``callback(now)`` every ``period_ns``."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        period_ns: int,
+        callback: Callable[[int], None],
+        name: str = "hrtimer",
+    ):
+        if period_ns <= 0:
+            raise ValueError("hrtimer period must be positive")
+        self.engine = engine
+        self.period_ns = period_ns
+        self.callback = callback
+        self.name = name
+        self.fires = 0
+        self._handle: EventHandle | None = None
+        self._active = False
+
+    def start(self) -> None:
+        if self._active:
+            return
+        self._active = True
+        self._arm()
+
+    def _arm(self) -> None:
+        self._handle = self.engine.schedule(self.period_ns, self._fire)
+
+    def _fire(self) -> None:
+        if not self._active:
+            return
+        self.fires += 1
+        self.callback(self.engine.now)
+        if self._active:
+            self._arm()
+
+    def cancel(self) -> None:
+        self._active = False
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None

@@ -1,0 +1,1252 @@
+"""The simulated kernel: CPUs, CFS scheduling, futex/epoll, load balancing.
+
+Execution model
+---------------
+Each CPU runs at most one task.  A running task has a *current charge* — the
+remaining on-CPU nanoseconds of its current action (``None`` while spinning,
+which burns CPU until granted or preempted).  The kernel schedules one engine
+event per CPU (the earliest of action completion and slice expiry) and
+invalidates stale events with a per-CPU generation counter.  Interruptions
+(wakeup preemption, spin grants, BWD deschedules) synchronize the running
+task's progress first, then mutate state.
+
+Blocking follows the paper's two paths:
+
+* **vanilla** (Figure 5): the waiter pays syscall + bucket-lock + dequeue
+  costs and leaves the runqueue (``SLEEPING``).  The *waker* serially
+  processes the wake queue: per waiter — bucket lock, wake_q move, idlest
+  core selection, target runqueue lock (a real serialization timeline shared
+  with other wakers), enqueue, and a wakeup-preemption check.  Waking on a
+  different CPU than the task last ran on counts as a migration.
+* **virtual blocking** (Section 3.1): the waiter sets ``thread_state`` and is
+  re-enqueued at the tail of its own runqueue with a sentinel vruntime;
+  waking clears the flag and re-keys it in place — no core selection, no
+  cross-CPU locking, no load fluctuation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Generator
+
+from ..config import ExecMode, SimConfig
+from ..core.bwd import BwdMonitor
+from ..core.virtual_blocking import VirtualBlockingPolicy
+from ..errors import DeadlockError, ProgramError, SimulationError
+from ..hw.memmodel import MemoryModel
+from ..hw.ple import PauseLoopExiting
+from ..hw.topology import Topology
+from ..prog import actions as A
+from ..sim.engine import Engine
+from ..sim.rng import RngStreams
+from ..sim.trace import TraceRecorder
+from .epoll import EpollInstance
+from .futex import FutexTable
+from .hrtimer import HrTimer
+from .locks import SimLockTimeline
+from .runqueue import CfsRunqueue
+from .task import ExecProfile, RunMode, Task, TaskState
+
+
+class CpuState:
+    """Per-CPU scheduler state and accounting."""
+
+    __slots__ = (
+        "id",
+        "info",
+        "rq",
+        "rq_lock",
+        "gen",
+        "event",
+        "run_started",
+        "run_factor",
+        "slice_end",
+        "busy_ns",
+        "irq_ns",
+        "sched_ns",
+        "stall_ns",
+        "poll_ns",
+        "poll_idle_since",
+        "last_task",
+        "online",
+    )
+
+    def __init__(self, cpu_id: int, info) -> None:
+        self.id = cpu_id
+        self.info = info
+        self.rq = CfsRunqueue(cpu_id)
+        self.rq_lock = SimLockTimeline(f"rq-{cpu_id}")
+        self.gen = 0
+        self.event = None
+        self.run_started = 0
+        self.run_factor = 1.0
+        self.slice_end = 0
+        self.busy_ns = 0
+        self.irq_ns = 0
+        self.sched_ns = 0
+        self.stall_ns = 0  # migration cache-refill stalls (memory-bound)
+        self.poll_ns = 0
+        self.poll_idle_since: int | None = None
+        self.last_task: Task | None = None
+        self.online = True
+
+
+class Kernel:
+    """Facade tying the engine, topology, scheduler, and monitors together."""
+
+    def __init__(
+        self,
+        config: SimConfig,
+        engine: Engine | None = None,
+        trace: TraceRecorder | None = None,
+    ):
+        self.config = config
+        self.engine = engine or Engine()
+        self.trace = trace or TraceRecorder(enabled=False)
+        self.rng_streams = RngStreams(config.seed)
+        self._rng_sched = self.rng_streams.stream("kernel.sched")
+
+        hw = config.hardware
+        # Topology over the whole machine; ``online`` tracks elastic CPUs.
+        self.topology = Topology(hw, online_cpus=None)
+        self.cpus = [CpuState(c.cpu_id, c) for c in self.topology.cpus]
+        initial = config.online_cpus or len(self.cpus)
+        if initial > len(self.cpus):
+            raise SimulationError(
+                f"online_cpus={initial} exceeds machine size {len(self.cpus)}"
+            )
+        self._online: list[int] = list(range(initial))
+        for cpu in self.cpus[initial:]:
+            cpu.online = False
+
+        self.futex_table = FutexTable()
+        self.vb_policy = VirtualBlockingPolicy(config.vb)
+        self.memmodel = MemoryModel(hw)
+        self.bwd: BwdMonitor | None = None
+        if config.bwd.enabled:
+            self.bwd = BwdMonitor(
+                config.bwd, config.profiling, self.rng_streams.stream("bwd")
+            )
+            self.bwd.install(self)
+        self.ple: PauseLoopExiting | None = None
+        self._ple_timer: HrTimer | None = None
+        if config.ple.enabled and config.mode is ExecMode.VM:
+            self.ple = PauseLoopExiting(config.ple, len(self.cpus))
+            self._ple_timer = HrTimer(
+                self.engine,
+                config.ple.window_ns // 2,
+                self._ple_tick,
+                name="ple",
+            )
+            self._ple_timer.start()
+
+        self.tasks: list[Task] = []
+        self.live_tasks = 0
+        self.migrations_in_node = 0
+        self.migrations_cross_node = 0
+        self.wake_migrations = 0
+        self.balance_migrations = 0
+        self._spawn_rr = 0
+        self.start_time = self.engine.now
+
+        self._balance_timer = HrTimer(
+            self.engine,
+            config.scheduler.balance_interval_ns,
+            self._balance_tick,
+            name="balance",
+        )
+        self._balance_timer.start()
+
+    # ==================================================================
+    # Public API
+    # ==================================================================
+    @property
+    def now(self) -> int:
+        return self.engine.now
+
+    def online_cpus(self) -> list[int]:
+        return list(self._online)
+
+    def current_task(self, cpu_id: int) -> Task | None:
+        return self.cpus[cpu_id].rq.curr
+
+    def spawn(
+        self,
+        program: Generator[A.Action, Any, None],
+        name: str = "task",
+        profile: ExecProfile | None = None,
+        pinned_cpu: int | None = None,
+        nice: int = 0,
+    ) -> Task:
+        """Create a task and enqueue it on an online CPU (round-robin)."""
+        if not hasattr(program, "send"):
+            raise ProgramError(
+                f"spawn() needs a generator (got {type(program).__name__}); "
+                "write the program as a function that yields actions"
+            )
+        task = Task(name, program, profile, nice=nice)
+        task.pinned_cpu = pinned_cpu
+        task.state_since = self.now
+        self.tasks.append(task)
+        self.live_tasks += 1
+        if pinned_cpu is not None:
+            if pinned_cpu not in self._online:
+                raise SimulationError(f"pinned CPU {pinned_cpu} is offline")
+            target = pinned_cpu
+        else:
+            target = self._online[self._spawn_rr % len(self._online)]
+            self._spawn_rr += 1
+        cpu = self.cpus[target]
+        task.vruntime = cpu.rq.min_vruntime
+        task.set_state(TaskState.RUNNABLE, self.now)
+        task.last_cpu = target
+        cpu.rq.enqueue(task)
+        self._check_preempt(cpu, task)
+        return task
+
+    def run_for(self, ns: int, max_events: int | None = None) -> None:
+        self.engine.run(until=self.engine.now + ns, max_events=max_events)
+
+    def run_to_completion(
+        self, max_ns: int = 600_000_000_000, max_events: int | None = None
+    ) -> None:
+        """Run until every spawned task exits.
+
+        Raises :class:`DeadlockError` if the deadline passes with live tasks.
+        """
+        deadline = self.engine.now + max_ns
+        self.engine.run(
+            until=deadline,
+            max_events=max_events,
+            stop_when=lambda: self.live_tasks == 0,
+        )
+        if self.live_tasks > 0:
+            blocked = tuple(
+                f"{t.name}({t.state.value})" for t in self.tasks if t.alive
+            )
+            raise DeadlockError(
+                f"{self.live_tasks} tasks still alive at t={self.engine.now}ns "
+                f"(deadline {deadline}ns)",
+                blocked_tasks=blocked,
+            )
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        """Cancel periodic timers so the engine can drain."""
+        self._balance_timer.cancel()
+        if self.bwd is not None:
+            self.bwd.uninstall()
+        if self._ple_timer is not None:
+            self._ple_timer.cancel()
+
+    # ------------------------------------------------------------------
+    # Elasticity: runtime CPU reconfiguration
+    # ------------------------------------------------------------------
+    def set_online_cpus(self, n: int) -> None:
+        """Hot-plug CPUs up or down, migrating tasks off offlined CPUs."""
+        if n < 1 or n > len(self.cpus):
+            raise SimulationError(f"cannot set online cpus to {n}")
+        current = len(self._online)
+        if n == current:
+            return
+        if n > current:
+            for cpu_id in range(current, n):
+                self.cpus[cpu_id].online = True
+                self._online.append(cpu_id)
+            return
+        # Shrink: migrate everything off the victims.
+        victims = self._online[n:]
+        self._online = self._online[:n]
+        for cpu_id in victims:
+            cpu = self.cpus[cpu_id]
+            cpu.online = False
+            self._sync_current(cpu)
+            evicted: list[Task] = []
+            if cpu.rq.curr is not None:
+                task = cpu.rq.curr
+                task.set_state(TaskState.RUNNABLE, self.now)
+                task.stats.nr_switches += 1
+                task.stats.nr_involuntary += 1
+                cpu.rq.curr = None
+                evicted.append(task)
+            while cpu.rq.nr_queued:
+                t = cpu.rq.pick_next()
+                evicted.append(t)
+            self._cancel_cpu_event(cpu)
+            cpu.poll_idle_since = None
+            for i, task in enumerate(evicted):
+                if task.pinned_cpu is not None:
+                    raise SimulationError(
+                        f"pinned task {task.name} lost its CPU {cpu_id} "
+                        "(the paper: pinned programs crash when CPUs shrink)"
+                    )
+                dest = self.cpus[self._online[i % len(self._online)]]
+                self._migrate_into(task, dest, count=True)
+
+    # ==================================================================
+    # Core scheduling
+    # ==================================================================
+    def _speed_factor(self, cpu: CpuState) -> float:
+        sib = self.topology.smt_sibling(cpu.id)
+        if sib is None or sib >= len(self.cpus):
+            return 1.0
+        sibling = self.cpus[sib]
+        if sibling.online and sibling.rq.curr is not None:
+            return self.config.hardware.smt_throughput_factor
+        return 1.0
+
+    def _cancel_cpu_event(self, cpu: CpuState) -> None:
+        cpu.gen += 1
+        if cpu.event is not None:
+            cpu.event.cancel()
+            cpu.event = None
+
+    def _sync_current(self, cpu: CpuState) -> None:
+        """Fold the running task's progress up to ``now`` into its state."""
+        task = cpu.rq.curr
+        if task is None:
+            return
+        now = self.now
+        start = cpu.run_started
+        if now <= start:
+            return
+        elapsed = now - start
+        cpu.busy_ns += elapsed
+        # CFS: virtual runtime advances inversely to the task's weight.
+        if task.weight == 1024:
+            task.vruntime += elapsed
+        else:
+            task.vruntime += elapsed * 1024 // task.weight
+        if task.action_remaining is not None:
+            progress = int(elapsed * cpu.run_factor)
+            task.action_remaining = max(0, task.action_remaining - progress)
+        task.account_state(now)
+        cpu.run_started = now
+
+    def _calc_slice(self, cpu: CpuState) -> int:
+        sched = self.config.scheduler
+        nr = max(1, cpu.rq.nr_schedulable())
+        sl = sched.sched_latency_ns // nr
+        return max(sched.min_granularity_ns, min(sched.regular_slice_ns, sl))
+
+    def _schedule(self, cpu: CpuState) -> None:
+        """Pick the next task for an idle CPU (rq.curr must be None)."""
+        assert cpu.rq.curr is None
+        if not cpu.online:
+            return
+        now = self.now
+        head = cpu.rq.peek_next()
+        if head is None:
+            pulled = self._idle_pull(cpu)
+            if pulled is None:
+                self._cancel_cpu_event(cpu)
+                return
+            head = pulled
+            cpu.rq.enqueue(head)
+        if head.thread_state:
+            # Every queued task is virtually blocked: the CPU cycles through
+            # them polling thread_state (Section 3.1).  Modeled as poll-idle:
+            # the wake path charges the expected poll latency.
+            self.vb_policy.stats.all_blocked_polls += 1
+            if cpu.poll_idle_since is None:
+                cpu.poll_idle_since = now
+            self._cancel_cpu_event(cpu)
+            return
+        task = cpu.rq.pick_next()
+        cpu.rq.curr = task
+        self._dispatch(cpu, task)
+
+    def _dispatch(self, cpu: CpuState, task: Task) -> None:
+        now = self.now
+        sched = self.config.scheduler
+        delay = 0
+        if cpu.last_task is not task:
+            delay += sched.context_switch_ns
+            cpu.sched_ns += sched.context_switch_ns
+            task.stats.nr_switches += 1
+        if task.pending_penalty_ns:
+            # Cache/TLB refill after a migration: the core stalls on memory
+            # (counted separately so utilization reflects lost capacity).
+            delay += task.pending_penalty_ns
+            cpu.stall_ns += task.pending_penalty_ns
+            task.pending_penalty_ns = 0
+        task.set_state(TaskState.RUNNING, now)
+        # The switch/stall delay is machine overhead, not task CPU time.
+        task.state_since = now + delay
+        task.cpu = cpu.id
+        task.last_cpu = cpu.id
+        task.on_cpu_since = now
+        if task.woken_at is not None:
+            task.stats.wakeup_latency_ns += now - task.woken_at
+            task.woken_at = None
+        task.skip_flag = False
+        cpu.run_started = now + delay
+        cpu.run_factor = self._speed_factor(cpu)
+        cpu.slice_end = now + delay + self._calc_slice(cpu)
+        cpu.rq.update_min_vruntime()
+        self.trace.emit(now, "dispatch", cpu.id, task.name)
+        self._continue(cpu)
+
+    def _continue(self, cpu: CpuState) -> None:
+        """Set up the engine event for the current task's next milestone."""
+        task = cpu.rq.curr
+        assert task is not None
+        now = self.now
+        # Resolve any completed blocking action or start the first action.
+        while True:
+            if task.wake_completed:
+                task.wake_completed = False
+                task.block_kind = None
+                if task.mode is RunMode.SPIN:
+                    # Back from a spin-then-park wait: normal execution.
+                    task.set_mode(RunMode.COMPUTE, self.now)
+                if not self._advance(cpu, task):
+                    return
+            elif task.action is None:
+                if not self._advance(cpu, task):
+                    return
+            else:
+                break
+        if task.action_remaining is None:
+            # Spinning: re-check the condition (it may have been satisfied
+            # while this task was off-CPU), else burn until slice expiry.
+            if self._spin_recheck_condition(cpu, task):
+                return  # converted into a grab charge and rescheduled
+            end = cpu.slice_end
+        else:
+            need = math.ceil(task.action_remaining / cpu.run_factor)
+            end = min(cpu.run_started + need, cpu.slice_end)
+            end = max(end, now)
+        self._cancel_cpu_event(cpu)
+        cpu.event = self.engine.schedule_at(end, self._cpu_event, cpu.id, cpu.gen)
+
+    def _cpu_event(self, cpu_id: int, gen: int) -> None:
+        cpu = self.cpus[cpu_id]
+        if gen != cpu.gen:
+            return
+        task = cpu.rq.curr
+        if task is None:
+            return
+        self._sync_current(cpu)
+        now = self.now
+        if task.action_remaining == 0:
+            self._complete_action(cpu, task)
+            return
+        if now >= cpu.slice_end:
+            head = cpu.rq.peek_next()
+            if head is not None and not head.thread_state:
+                # Involuntary preemption at slice expiry.
+                task.stats.nr_involuntary += 1
+                self._put_prev_runnable(cpu)
+                self._schedule(cpu)
+                return
+            # Nothing else runnable: renew the slice in place.
+            cpu.slice_end = now + self._calc_slice(cpu)
+        self._continue(cpu)
+
+    def _put_prev_runnable(self, cpu: CpuState) -> None:
+        task = cpu.rq.curr
+        assert task is not None
+        task.set_state(TaskState.RUNNABLE, self.now)
+        cpu.rq.curr = None
+        cpu.last_task = task
+        cpu.rq.enqueue(task)
+        cpu.rq.update_min_vruntime()
+
+    def _advance(self, cpu: CpuState, task: Task) -> bool:
+        """Resume the task's generator; returns False if the task left the
+        CPU (exited or a zero-cost park happened)."""
+        try:
+            action = task.program.send(task.pending_result)
+        except StopIteration:
+            self._exit_task(cpu, task)
+            return False
+        except Exception as exc:  # a buggy program, not the simulator
+            task.exit_error = exc
+            self._exit_task(cpu, task)
+            raise ProgramError(
+                f"program of task {task.name!r} raised {exc!r}"
+            ) from exc
+        task.pending_result = None
+        task.action = action
+        self._start_action(cpu, task, action)
+        return True
+
+    def _exit_task(self, cpu: CpuState, task: Task) -> None:
+        task.set_state(TaskState.EXITED, self.now)
+        task.exited_at = self.now
+        task.cpu = None
+        self.live_tasks -= 1
+        cpu.rq.curr = None
+        cpu.last_task = task
+        self.trace.emit(self.now, "exit", cpu.id, task.name)
+        self._schedule(cpu)
+
+    # ==================================================================
+    # Action semantics
+    # ==================================================================
+    def _start_action(self, cpu: CpuState, task: Task, action: A.Action) -> None:
+        """Compute the action's on-CPU charge and perform entry effects."""
+        user = self.config.user
+        if isinstance(action, A.Compute):
+            task.action_remaining = max(1, action.ns)
+        elif isinstance(action, A.MemTraverse):
+            epoch = self.memmodel.epoch(
+                action.pattern,
+                action.region_bytes,
+                action.total_bytes,
+                action.nthreads,
+            )
+            task.action_remaining = max(1, int(epoch.time_ns * action.epochs))
+        elif isinstance(action, A.AtomicRmw):
+            ctr = action.counter
+            my_core = self.topology.core_of(cpu.id)
+            remote = (
+                ctr.last_writer_cpu is not None
+                and ctr.last_writer_cpu != my_core
+            )
+            per_op = user.atomic_ns + (
+                user.atomic_remote_extra_ns if remote else 0
+            )
+            ctr.last_writer_cpu = my_core
+            ctr.value += action.count
+            ctr.updates += action.count
+            task.action_remaining = max(1, per_op * action.count)
+        elif isinstance(action, A.Yield):
+            task.action_remaining = self.config.futex.syscall_entry_ns
+        elif isinstance(action, A.SleepNs):
+            task.action_remaining = self.config.futex.syscall_entry_ns
+        elif isinstance(
+            action,
+            (
+                A.MutexAcquire,
+                A.MutexRelease,
+                A.MutexEnsure,
+                A.CondWait,
+                A.CondWaitRequeue,
+                A.CondSignal,
+                A.CondBroadcast,
+                A.CondBroadcastRequeue,
+                A.BarrierWait,
+                A.SemWait,
+                A.SemPost,
+                A.RwAcquireRead,
+                A.RwReleaseRead,
+                A.RwAcquireWrite,
+                A.RwReleaseWrite,
+            ),
+        ):
+            cost = self._blocking_entry(cpu, task, action)
+            task.action_remaining = max(1, cost)
+        elif isinstance(action, A.SpinAcquire):
+            lock = action.lock
+            if lock.try_acquire(task):
+                task.action_remaining = user.fast_ns
+            else:
+                lock.add_waiter(task)
+                task.spin_target = lock
+                task.set_mode(RunMode.SPIN, self.now)
+                task.action_remaining = None
+        elif isinstance(action, A.SpinRelease):
+            candidates = action.lock.release(task)
+            self._notify_spinners(candidates, action.lock)
+            task.action_remaining = user.fast_ns
+        elif isinstance(action, A.SpinUntilFlag):
+            flag = action.flag
+            if flag.value >= action.target:
+                task.action_remaining = user.fast_ns
+            else:
+                flag.waiters.append(task)
+                task.spin_target = action
+                task.set_mode(RunMode.SPIN, self.now)
+                task.action_remaining = None
+        elif isinstance(action, A.FlagSet):
+            flag = action.flag
+            flag.value = flag.value + action.value if action.add else action.value
+            satisfied = [t for t in flag.waiters]
+            self._notify_spinners(satisfied, flag)
+            task.action_remaining = user.flag_write_ns
+        elif isinstance(action, A.EpollWait):
+            ep: EpollInstance = action.epoll
+            if len(ep):
+                task.pending_result = ep.take(action.max_events)
+                task.action_remaining = self.config.futex.syscall_entry_ns
+            else:
+                cost = self.futex_wait(task, ep)
+                task.action_remaining = max(1, cost)
+        else:
+            raise ProgramError(f"unknown action {action!r} from {task.name}")
+
+    def _blocking_entry(self, cpu: CpuState, task: Task, action: A.Action) -> int:
+        """Drive a blocking primitive's entry hook; may arrange a park."""
+        if isinstance(action, A.MutexAcquire):
+            return action.mutex.acquire(self, task)
+        if isinstance(action, A.MutexRelease):
+            return action.mutex.release(self, task)
+        if isinstance(action, A.MutexEnsure):
+            return action.mutex.ensure(self, task)
+        if isinstance(action, A.CondWait):
+            return action.cond.wait(self, task)
+        if isinstance(action, A.CondWaitRequeue):
+            return action.cond.wait_with(self, task, action.mutex)
+        if isinstance(action, A.CondBroadcastRequeue):
+            return action.cond.broadcast_requeue(self, task, action.mutex)
+        if isinstance(action, A.RwAcquireRead):
+            return action.lock.acquire_read(self, task)
+        if isinstance(action, A.RwReleaseRead):
+            return action.lock.release_read(self, task)
+        if isinstance(action, A.RwAcquireWrite):
+            return action.lock.acquire_write(self, task)
+        if isinstance(action, A.RwReleaseWrite):
+            return action.lock.release_write(self, task)
+        if isinstance(action, A.CondSignal):
+            return action.cond.signal(self, task)
+        if isinstance(action, A.CondBroadcast):
+            return action.cond.broadcast(self, task)
+        if isinstance(action, A.BarrierWait):
+            return action.barrier.wait(self, task)
+        if isinstance(action, A.SemWait):
+            return action.sem.wait(self, task)
+        if isinstance(action, A.SemPost):
+            return action.sem.post(self, task)
+        raise ProgramError(f"unhandled blocking action {action!r}")
+
+    def _complete_action(self, cpu: CpuState, task: Task) -> None:
+        """The current action's charge finished; apply completion effects."""
+        action = task.action
+        now = self.now
+        if isinstance(action, A.Yield):
+            task.action = None
+            task.stats.nr_voluntary += 1
+            # Step behind peers at the same vruntime.
+            task.vruntime += 1
+            self._put_prev_runnable(cpu)
+            self._schedule(cpu)
+            return
+        if isinstance(action, A.SleepNs):
+            task.action = None
+            task.pending_result = None
+            self._park(cpu, task, kind="sleep")
+            self.engine.schedule(action.ns, self._timer_wake, task)
+            return
+        if task.block_kind is not None:
+            # A blocking action whose entry decided to park.
+            if task.wake_pending:
+                # The wake raced with the pre-park window: consume it.
+                task.wake_pending = False
+                task.block_kind = None
+                task.action = None
+                self._continue(cpu)
+                return
+            task.action = None
+            if task.mode is RunMode.SPIN:
+                task.set_mode(RunMode.COMPUTE, self.now)
+            self._park(cpu, task, kind=task.block_kind)
+            return
+        # Ordinary completion: continue with the next action in-slice.
+        task.action = None
+        self._continue(cpu)
+
+    # ==================================================================
+    # Parking and waking
+    # ==================================================================
+    def _park(self, cpu: CpuState, task: Task, kind: str) -> None:
+        now = self.now
+        task.stats.nr_voluntary += 1
+        task.stats.nr_switches += 1
+        cpu.rq.curr = None
+        cpu.last_task = task
+        if kind == "vb":
+            task.thread_state = 1
+            task.saved_vruntime = task.vruntime
+            task.set_state(TaskState.VBLOCKED, now)
+            task.vb_cpu = cpu.id
+            cpu.rq.enqueue(task)  # tail position via the sentinel key
+        else:
+            task.set_state(TaskState.SLEEPING, now)
+            task.cpu = None
+        cpu.rq.update_min_vruntime()
+        self.trace.emit(now, "park", cpu.id, task.name, how=kind)
+        self._schedule(cpu)
+
+    def futex_wait(self, task: Task, obj: Any) -> int:
+        """Primitive hook: queue ``task`` on ``obj``'s bucket and arrange the
+        park.  Returns the pre-park on-CPU cost (Figure 5 steps 1-4)."""
+        fc = self.config.futex
+        bucket = self.futex_table.bucket(obj)
+        cost = fc.syscall_entry_ns + bucket.lock.acquire(
+            self.now, fc.bucket_lock_hold_ns
+        )
+        if self.vb_policy.config.enabled:
+            # VB park: flip thread_state and re-key at the tail of the
+            # local runqueue — no sleep-queue shuttling.
+            cost += self.config.vb.block_cost_ns
+            task.block_kind = "vb"
+            self.vb_policy.stats.vb_blocks += 1
+        else:
+            cost += fc.sleep_dequeue_ns
+            task.block_kind = "sleep"
+            self.vb_policy.stats.vanilla_blocks += 1
+        bucket.waiters.append(task)
+        bucket.total_waits += 1
+        task.stats.nr_blocks += 1
+        return cost
+
+    def futex_wait_spin(self, task: Task, obj: Any, spin_ns: int) -> int:
+        """Spin-then-park (Mutexee / MCS-TP / SHFLLOCK): the waiter joins
+        the futex queue, busy-waits for ``spin_ns`` hoping for a fast
+        handoff, then parks.  A wake landing inside the spin window is
+        consumed at park time (no sleep happens); the spin itself runs in
+        SPIN mode, so it is accounted as burned cycles and is visible to
+        BWD when the window exceeds a monitoring period."""
+        cost = self.futex_wait(task, obj)
+        if spin_ns > 0:
+            task.set_mode(RunMode.SPIN, self.now)
+        return cost + max(0, spin_ns)
+
+    def futex_waiters(self, obj: Any) -> int:
+        return self.futex_table.waiter_count(obj)
+
+    def futex_peek(self, obj: Any) -> Task | None:
+        """First waiter in FIFO order (the one futex_wake(n=1) would wake)."""
+        bucket = self.futex_table.bucket(obj)
+        return bucket.waiters[0] if bucket.waiters else None
+
+    def futex_requeue_front(self, obj: Any, task: Task) -> bool:
+        """Move ``task`` to the front of the bucket queue (SHFLLOCK's
+        shuffler reorders waiters without waking them)."""
+        bucket = self.futex_table.bucket(obj)
+        try:
+            bucket.waiters.remove(task)
+        except ValueError:
+            return False
+        bucket.waiters.appendleft(task)
+        return True
+
+    def futex_requeue(
+        self,
+        waker: Task | None,
+        src_obj: Any,
+        dst_obj: Any,
+        wake_n: int = 1,
+    ) -> int:
+        """FUTEX_CMP_REQUEUE: wake ``wake_n`` waiters of ``src_obj`` and
+        splice the remaining waiters onto ``dst_obj``'s queue unwoken.
+
+        glibc's ``pthread_cond_broadcast`` uses this to avoid the
+        thundering herd: one waiter wakes, the rest queue directly on the
+        mutex and are woken one at a time as it is handed over.  Returns
+        the cost charged to the waker; the splice is a per-waiter queue
+        move under the two bucket locks — far cheaper than full wakeups.
+        """
+        fc = self.config.futex
+        src = self.futex_table.bucket(src_obj)
+        dst = self.futex_table.bucket(dst_obj)
+        cost = self.futex_wake(waker, src_obj, wake_n)
+        now = self.now
+        moved = 0
+        while src.waiters:
+            w = src.waiters.popleft()
+            dst.waiters.append(w)
+            moved += 1
+        if moved:
+            cost += src.lock.acquire(now + cost, fc.bucket_lock_hold_ns)
+            cost += dst.lock.acquire(now + cost, fc.bucket_lock_hold_ns)
+            cost += moved * fc.wakeq_move_ns
+        return cost
+
+    def futex_wake(
+        self,
+        waker: Task | None,
+        obj: Any,
+        n: int = 1,
+        result: Any = None,
+    ) -> int:
+        """Primitive hook: wake up to ``n`` waiters of ``obj``.
+
+        Returns the total cost charged to the waker (it processes the wake
+        queue serially, Figure 5 steps 5-7).  ``waker=None`` models an
+        interrupt-context wake (timer, network RX): costs land on the target
+        CPU's interrupt accounting instead.
+        """
+        fc = self.config.futex
+        vbc = self.config.vb
+        bucket = self.futex_table.bucket(obj)
+        # VB's under-subscription rule (Section 3.1): when fewer threads
+        # wait on this bucket than there are cores, every waiter can get a
+        # dedicated core on simultaneous wakeup, so VB's stay-in-place wake
+        # is *disabled* and the wake selects a core like a normal wakeup
+        # (still without sleep-queue shuttling).  Oversubscribed buckets
+        # wake in place.
+        in_place = self.vb_policy.wake_in_place(
+            len(bucket.waiters), len(self._online)
+        )
+        total = fc.syscall_entry_ns if waker is not None else 0
+        t = self.now + total
+        woken = 0
+        sync_wake = n == 1
+        while bucket.waiters and woken < n:
+            w = bucket.waiters.popleft()
+            bucket.total_wakes += 1
+            w.pending_result = result
+            w.sync_wake = sync_wake
+            if w.block_kind == "vb" and in_place:
+                c = vbc.wake_cost_ns
+                t += c
+                total += c
+                self.engine.schedule_at(t, self._finish_wake_vb, w)
+                self.vb_policy.stats.vb_wakes += 1
+            elif w.block_kind == "vb":
+                c = fc.select_core_ns(len(self._online))
+                proxy = w.last_cpu if w.last_cpu is not None else self._online[0]
+                c += self.cpus[proxy].rq_lock.acquire(
+                    t + c, fc.rq_lock_hold_ns
+                )
+                c += fc.enqueue_ns
+                t += c
+                total += c
+                self.engine.schedule_at(t, self._finish_wake_vb_placed, w)
+                self.vb_policy.stats.vb_placed_wakes += 1
+            else:
+                c = bucket.lock.acquire(t, fc.bucket_lock_hold_ns)
+                c += fc.wakeq_move_ns
+                c += fc.select_core_ns(len(self._online))
+                # The runqueue-lock serialization is costed against the
+                # waiter's previous CPU; the actual placement is decided at
+                # finish time, when earlier wakes of this batch are visible.
+                proxy = w.last_cpu if w.last_cpu is not None else self._online[0]
+                c += self.cpus[proxy].rq_lock.acquire(
+                    t + c, fc.rq_lock_hold_ns
+                )
+                c += fc.enqueue_ns
+                t += c
+                total += c
+                self.engine.schedule_at(t, self._finish_wake_vanilla, w)
+                self.vb_policy.stats.vanilla_wakes += 1
+            woken += 1
+        if waker is None and woken:
+            # Interrupt-context processing time.
+            first = self._select_wake_cpu_id_safe()
+            self.cpus[first].irq_ns += total
+        return total
+
+    def _select_wake_cpu_id_safe(self) -> int:
+        return self._online[0]
+
+    def _select_wake_cpu(self, task: Task, sync: bool = False) -> int:
+        """select_task_rq at wakeup: the previous CPU if it is idle;
+        otherwise the idlest CPU, keeping the previous one on a tie only
+        with ``wake_affinity_bias`` probability.  Under bursty group
+        wakeups this spreads threads across cores — the migration churn
+        the paper measures in Table 1.
+
+        ``sync`` marks 1:1 wakeups (mutex/semaphore handoffs): wake_affine
+        keeps those near their cache unless the previous CPU is clearly
+        overloaded."""
+        if task.pinned_cpu is not None:
+            return task.pinned_cpu
+
+        def load_of(cpu_id: int) -> int:
+            load = self.cpus[cpu_id].rq.nr_running
+            # A virtually-blocked task still sits on its home runqueue;
+            # don't let it count against its own wake placement.
+            if task.state is TaskState.VBLOCKED and task.vb_cpu == cpu_id:
+                load -= 1
+            return load
+
+        prev = task.last_cpu
+        if (
+            prev is not None
+            and self.cpus[prev].online
+            and load_of(prev) == 0
+        ):
+            return prev
+        if sync and prev is not None and self.cpus[prev].online:
+            min_load = min(
+                self.cpus[c].rq.nr_running for c in self._online
+            )
+            if load_of(prev) <= min_load + 1:
+                return prev
+        best: list[int] = []
+        best_load = None
+        for cpu_id in self._online:
+            load = load_of(cpu_id)
+            if best_load is None or load < best_load:
+                best_load = load
+                best = [cpu_id]
+            elif load == best_load:
+                best.append(cpu_id)
+        assert best_load is not None
+        bias = self.config.scheduler.wake_affinity_bias
+        if best_load >= 1:
+            # No idle CPU: wake_affine keeps 1:1 wakeups near their cache
+            # unless the previous CPU is clearly overloaded.
+            if (
+                prev is not None
+                and self.cpus[prev].online
+                and load_of(prev) <= best_load + 1
+                and self._rng_sched.random() < 0.8 + 0.2 * bias
+            ):
+                return prev
+        elif len(best) > 1 and prev in best:
+            if self._rng_sched.random() < bias:
+                return prev
+        if len(best) == 1:
+            return best[0]
+        return best[int(self._rng_sched.integers(0, len(best)))]
+
+    def _count_migration(self, task: Task, dest_cpu: int, wake: bool) -> None:
+        src = task.last_cpu
+        if src is None or src == dest_cpu:
+            return
+        sched = self.config.scheduler
+        weight = task.profile.migration_weight
+        if self.topology.same_node(src, dest_cpu):
+            self.migrations_in_node += 1
+            task.stats.nr_migrations_in_node += 1
+            task.pending_penalty_ns += int(
+                sched.migration_cost_in_node_ns * weight
+            )
+        else:
+            self.migrations_cross_node += 1
+            task.stats.nr_migrations_cross_node += 1
+            task.pending_penalty_ns += int(
+                sched.migration_cost_cross_node_ns * weight
+            )
+        if wake:
+            self.wake_migrations += 1
+        else:
+            self.balance_migrations += 1
+
+    def _finish_wake_vanilla(self, task: Task, target: int | None = None) -> None:
+        if task.state in (TaskState.RUNNING, TaskState.RUNNABLE):
+            # Still in (or preempted during) its pre-park window: flag the
+            # wake so the park consumes it instead of sleeping.
+            task.wake_pending = True
+            return
+        if task.state is not TaskState.SLEEPING:
+            return
+        now = self.now
+        # Placement decided now, with every earlier wake of the batch
+        # already enqueued and visible.
+        if target is None or not self.cpus[target].online:
+            target = self._select_wake_cpu(task, sync=task.sync_wake)
+        cpu = self.cpus[target]
+        self._count_migration(task, target, wake=True)
+        task.set_state(TaskState.RUNNABLE, now)
+        task.block_kind = None
+        task.wake_completed = True
+        task.woken_at = now
+        task.stats.nr_wakeups += 1
+        cpu.rq.place_vruntime(
+            task, self.config.scheduler.sched_latency_ns // 2
+        )
+        cpu.rq.enqueue(task)
+        self.trace.emit(now, "wake", target, task.name, how="vanilla")
+        self._check_preempt(cpu, task)
+
+    def _finish_wake_vb(self, task: Task) -> None:
+        if task.state in (TaskState.RUNNING, TaskState.RUNNABLE):
+            task.wake_pending = True
+            return
+        if task.state is not TaskState.VBLOCKED:
+            return
+        now = self.now
+        cpu = self.cpus[task.vb_cpu]
+        task.thread_state = 0
+        saved = task.saved_vruntime
+        task.vruntime = saved if saved is not None else task.vruntime
+        task.saved_vruntime = None
+        if self.config.vb.immediate_schedule:
+            # Immediate-schedule preference for VB wakers (Section 3.1).
+            task.vruntime = max(
+                min(task.vruntime, cpu.rq.min_vruntime),
+                cpu.rq.min_vruntime
+                - self.config.scheduler.sched_latency_ns // 2,
+            )
+        task.set_state(TaskState.RUNNABLE, now)
+        task.block_kind = None
+        task.wake_completed = True
+        task.woken_at = now
+        task.stats.nr_wakeups += 1
+        if not self.config.vb.immediate_schedule:
+            # Ablation: no immediate-schedule preference; the woken task
+            # keeps its restored vruntime and waits its fair turn.
+            task.vruntime = max(task.vruntime, cpu.rq.min_vruntime)
+        cpu.rq.requeue(task)  # re-key from the sentinel to the real vruntime
+        if cpu.poll_idle_since is not None:
+            # The woken task pays the expected flag-poll latency.
+            cpu.poll_ns += now - cpu.poll_idle_since
+            cpu.poll_idle_since = None
+            task.pending_penalty_ns += self.config.vb.all_blocked_poll_ns // 2
+        self.trace.emit(now, "wake", cpu.id, task.name, how="vb")
+        self._check_preempt(cpu, task)
+
+    def _finish_wake_vb_placed(self, task: Task, target: int | None = None) -> None:
+        """VB wake with core selection (the bucket was under-subscribed):
+        clear the flag, move the task from its home queue to the chosen
+        CPU's queue."""
+        if task.state in (TaskState.RUNNING, TaskState.RUNNABLE):
+            task.wake_pending = True
+            return
+        if task.state is not TaskState.VBLOCKED:
+            return
+        now = self.now
+        home = self.cpus[task.vb_cpu]
+        home.rq.dequeue(task)
+        if home.poll_idle_since is not None:
+            home.poll_ns += now - home.poll_idle_since
+            home.poll_idle_since = None
+            if home.rq.curr is None and home.online:
+                self._schedule(home)
+        task.thread_state = 0
+        if task.saved_vruntime is not None:
+            task.vruntime = task.saved_vruntime
+            task.saved_vruntime = None
+        # Placement decided now (see _finish_wake_vanilla).
+        if target is None or not self.cpus[target].online:
+            target = self._select_wake_cpu(task, sync=task.sync_wake)
+        cpu = self.cpus[target]
+        self._count_migration(task, target, wake=True)
+        task.set_state(TaskState.RUNNABLE, now)
+        task.block_kind = None
+        task.wake_completed = True
+        task.woken_at = now
+        task.stats.nr_wakeups += 1
+        task.vruntime = (
+            task.vruntime - home.rq.min_vruntime + cpu.rq.min_vruntime
+        )
+        cpu.rq.place_vruntime(
+            task, self.config.scheduler.sched_latency_ns // 2
+        )
+        cpu.rq.enqueue(task)
+        self.trace.emit(now, "wake", target, task.name, how="vb-placed")
+        self._check_preempt(cpu, task)
+
+    def _timer_wake(self, task: Task) -> None:
+        if task.state is TaskState.RUNNING:
+            task.wake_pending = True
+            return
+        if task.state is not TaskState.SLEEPING:
+            return
+        target = self._select_wake_cpu(task)
+        self._finish_wake_vanilla(task, target)
+
+    def _check_preempt(self, cpu: CpuState, woken: Task) -> None:
+        curr = cpu.rq.curr
+        if curr is None:
+            if cpu.online:
+                self._schedule(cpu)
+            return
+        self._sync_current(cpu)
+        gran = self.config.scheduler.wakeup_granularity_ns
+        if curr.vruntime - woken.vruntime > gran:
+            curr.stats.nr_involuntary += 1
+            self._cancel_cpu_event(cpu)
+            self._put_prev_runnable(cpu)
+            self._schedule(cpu)
+
+    # ==================================================================
+    # Spinning
+    # ==================================================================
+    def _notify_spinners(self, candidates: list[Task], target: Any) -> None:
+        """A spin release/flag-set may allow waiters to proceed.  Running
+        spinners notice after a cacheline-transfer delay; descheduled ones
+        re-check when next dispatched."""
+        grant = self.config.user.spin_grant_ns
+        for c in candidates:
+            if c.state is TaskState.RUNNING and c.mode is RunMode.SPIN:
+                self.engine.schedule(grant, self._spin_notify, c)
+
+    def _spin_notify(self, task: Task) -> None:
+        if task.state is not TaskState.RUNNING or task.mode is not RunMode.SPIN:
+            return
+        cpu = self.cpus[task.cpu]
+        if cpu.rq.curr is not task:
+            return
+        self._sync_current(cpu)
+        if self._spin_recheck_condition(cpu, task):
+            return
+        # Condition not ours (another spinner won the race): keep spinning.
+
+    def _spin_recheck_condition(self, cpu: CpuState, task: Task) -> bool:
+        """If the spin target is now satisfied, convert the spin into a
+        short grab charge.  Returns True if converted (and rescheduled)."""
+        action = task.action
+        satisfied = False
+        if isinstance(action, A.SpinAcquire):
+            satisfied = action.lock.try_acquire(task)
+        elif isinstance(action, A.SpinUntilFlag):
+            flag = action.flag
+            if flag.value >= action.target:
+                satisfied = True
+                if task in flag.waiters:
+                    flag.waiters.remove(task)
+        if not satisfied:
+            return False
+        task.set_mode(RunMode.COMPUTE, self.now)
+        task.spin_target = None
+        task.action_remaining = self.config.user.spin_grant_ns
+        self._continue(cpu)
+        return True
+
+    def bwd_deschedule(self, cpu_id: int, task: Task, cost_ns: int) -> None:
+        """BWD hook: kick the spinning task off the CPU with a skip flag —
+        it runs again only after everyone else on this queue had a turn."""
+        cpu = self.cpus[cpu_id]
+        if cpu.rq.curr is not task:
+            return
+        self._sync_current(cpu)
+        cpu.irq_ns += cost_ns
+        task.stats.nr_involuntary += 1
+        if self.config.bwd.skip_flag:
+            task.skip_flag = True
+            # Skip semantics: place behind every queued runnable task.
+            max_vr = task.vruntime
+            for t in cpu.rq.tasks():
+                if t.thread_state == 0:
+                    max_vr = max(max_vr, t.vruntime)
+            task.vruntime = max_vr + 1
+        self._cancel_cpu_event(cpu)
+        self._put_prev_runnable(cpu)
+        self.trace.emit(self.now, "bwd-deschedule", cpu_id, task.name)
+        self._schedule(cpu)
+
+    def _ple_tick(self, now: int) -> None:
+        assert self.ple is not None
+        for cpu_id in self._online:
+            task = self.cpus[cpu_id].rq.curr
+            spinning_with_pause = (
+                task is not None
+                and task.mode is RunMode.SPIN
+                and task.profile.spin_uses_pause
+            )
+            if self.ple.observe(cpu_id, now, spinning_with_pause):
+                # The hypervisor briefly deschedules the *vCPU*; the guest
+                # scheduler still runs the spinner afterwards, so thread
+                # oversubscription is not relieved (Section 2.4) — the only
+                # effect is the lost yield window on this vCPU.
+                self.cpus[cpu_id].irq_ns += self.config.ple.vcpu_yield_ns
+
+    def charge_irq(self, cpu_id: int, ns: int) -> None:
+        """Steal ``ns`` from whatever runs on the CPU (monitor overhead)."""
+        cpu = self.cpus[cpu_id]
+        cpu.irq_ns += ns
+        task = cpu.rq.curr
+        if task is not None and task.action_remaining is not None:
+            self._sync_current(cpu)
+            task.action_remaining += ns
+
+    # ==================================================================
+    # Load balancing
+    # ==================================================================
+    def _idle_pull(self, cpu: CpuState) -> Task | None:
+        """Newly-idle balance: steal one runnable task from the busiest CPU."""
+        if not self.config.scheduler.idle_balance:
+            return None
+        busiest: CpuState | None = None
+        busiest_load = 1
+        for cpu_id in self._online:
+            other = self.cpus[cpu_id]
+            if other is cpu:
+                continue
+            if other.rq.nr_running > busiest_load:
+                cands = other.rq.steal_candidates()
+                if cands:
+                    busiest = other
+                    busiest_load = other.rq.nr_running
+        if busiest is None:
+            return None
+        cands = self._migratable(busiest.rq.steal_candidates())
+        if not cands:
+            return None
+        task = cands[int(self._rng_sched.integers(0, len(cands)))]
+        busiest.rq.dequeue(task)
+        self._relocate_vruntime(task, busiest.rq, cpu.rq)
+        self._count_migration(task, cpu.id, wake=False)
+        task.last_cpu = cpu.id
+        self.trace.emit(self.now, "idle-pull", cpu.id, task.name)
+        return task
+
+    def _migratable(self, candidates: list[Task]) -> list[Task]:
+        """can_migrate_task: skip pinned tasks and cache-hot tasks (those
+        that only just became runnable — e.g. mid group-wakeup)."""
+        cold = self.config.scheduler.migration_cold_delay_ns
+        now = self.now
+        return [
+            t
+            for t in candidates
+            if t.pinned_cpu is None and now - t.state_since >= cold
+        ]
+
+    @staticmethod
+    def _relocate_vruntime(task: Task, src: CfsRunqueue, dst: CfsRunqueue) -> None:
+        task.vruntime = task.vruntime - src.min_vruntime + dst.min_vruntime
+
+    def _migrate_into(self, task: Task, dest: CpuState, count: bool) -> None:
+        if count:
+            self._count_migration(task, dest.id, wake=False)
+        task.last_cpu = dest.id
+        if task.state is TaskState.RUNNABLE or task.state is TaskState.VBLOCKED:
+            if task.state is TaskState.VBLOCKED:
+                task.vb_cpu = dest.id
+            dest.rq.enqueue(task)
+            self._check_preempt(dest, task)
+
+    def _balance_tick(self, now: int) -> None:
+        """Periodic load balancing across online CPUs."""
+        if len(self._online) < 2:
+            return
+        sched = self.config.scheduler
+        for _ in range(4):  # bounded work per tick
+            loads = [(self.cpus[c].rq.nr_running, c) for c in self._online]
+            busiest_load, busiest_id = max(loads)
+            idlest_load, idlest_id = min(loads)
+            if busiest_load - idlest_load < 2:
+                return
+            if (busiest_load - idlest_load) <= sched.imbalance_pct * busiest_load:
+                return
+            src = self.cpus[busiest_id]
+            dst = self.cpus[idlest_id]
+            cands = self._migratable(src.rq.steal_candidates())
+            if not cands:
+                return
+            task = cands[int(self._rng_sched.integers(0, len(cands)))]
+            src.rq.dequeue(task)
+            self._relocate_vruntime(task, src.rq, dst.rq)
+            self._count_migration(task, dst.id, wake=False)
+            task.last_cpu = dst.id
+            dst.rq.enqueue(task)
+            self.trace.emit(now, "balance", dst.id, task.name, src=src.id)
+            if dst.rq.curr is None:
+                self._check_preempt(dst, task)
+
+    # ==================================================================
+    # epoll helpers (used by server workloads)
+    # ==================================================================
+    def epoll_post(self, ep: EpollInstance, payload: Any) -> None:
+        """Deliver an event (interrupt context, e.g. network RX)."""
+        if self.futex_table.waiter_count(ep) > 0:
+            self.futex_wake(None, ep, 1, result=[payload])
+            ep.events_posted += 1
+            ep.events_delivered += 1
+        else:
+            ep.post(payload)
+
+    # ==================================================================
+    # Introspection
+    # ==================================================================
+    def cpu_utilization_percent(self) -> float:
+        """Summed per-CPU utilization in percent (800 = 8 fully busy CPUs)."""
+        wall = self.now - self.start_time
+        if wall <= 0:
+            return 0.0
+        total = 0
+        for c in self._online:
+            cpu = self.cpus[c]
+            # Poll time can overlap the busy edges by a few events; a CPU
+            # can never exceed 100%.
+            total += min(
+                wall, cpu.busy_ns + cpu.sched_ns + cpu.irq_ns + cpu.poll_ns
+            )
+        return 100.0 * total / wall

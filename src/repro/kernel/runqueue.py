@@ -1,0 +1,129 @@
+"""Per-CPU CFS runqueue: a red-black tree ordered by virtual runtime.
+
+Mirrors ``cfs_rq``: the currently running task is *not* in the tree; the
+tree is keyed by ``(vruntime, enqueue_seq)``; ``min_vruntime`` advances
+monotonically and places newly woken tasks.
+
+Virtual blocking inserts blocked tasks at the tail using a sentinel key
+component far above any real vruntime (the paper's "arbitrarily large
+virtual runtime"), so ``pick_next`` naturally prefers every runnable task
+and only reaches blocked ones when the whole queue is blocked.
+"""
+
+from __future__ import annotations
+
+from ..util.rbtree import RedBlackTree
+from .task import Task, TaskState
+
+# An hour of virtual runtime: far beyond anything a real task accumulates.
+VB_SENTINEL = 3_600_000_000_000
+
+
+class CfsRunqueue:
+    """One CPU's runqueue."""
+
+    def __init__(self, cpu_id: int):
+        self.cpu_id = cpu_id
+        self.tree = RedBlackTree()
+        self.curr: Task | None = None
+        self.min_vruntime: int = 0
+        self._seq = 0
+        self.nr_enqueues = 0
+
+    # ------------------------------------------------------------------
+    # Size / load
+    # ------------------------------------------------------------------
+    @property
+    def nr_queued(self) -> int:
+        """Tasks waiting in the tree (including virtually blocked ones)."""
+        return len(self.tree)
+
+    @property
+    def nr_running(self) -> int:
+        """Linux's ``rq->nr_running``: queued + current.
+
+        Virtually blocked tasks count — that stability is what kills the
+        load fluctuation that triggers migration storms under vanilla
+        blocking (Section 3.1 / Table 1).
+        """
+        return len(self.tree) + (1 if self.curr is not None else 0)
+
+    def nr_schedulable(self) -> int:
+        """Tasks that pick_next may actually run (excludes VB-blocked)."""
+        n = sum(1 for _, t in self.tree.items() if t.thread_state == 0)
+        if self.curr is not None and self.curr.thread_state == 0:
+            n += 1
+        return n
+
+    # ------------------------------------------------------------------
+    # Enqueue / dequeue
+    # ------------------------------------------------------------------
+    def _key_for(self, task: Task) -> tuple[int, int]:
+        self._seq += 1
+        if task.thread_state:
+            return (VB_SENTINEL + self._seq, self._seq)
+        return (task.vruntime, self._seq)
+
+    def enqueue(self, task: Task) -> None:
+        assert task.rq_key is None, f"{task} already queued"
+        key = self._key_for(task)
+        self.tree.insert(key, task)
+        task.rq_key = key
+        self.nr_enqueues += 1
+
+    def dequeue(self, task: Task) -> None:
+        assert task.rq_key is not None, f"{task} not queued"
+        self.tree.remove(task.rq_key)
+        task.rq_key = None
+
+    def requeue(self, task: Task) -> None:
+        """Re-insert with a key reflecting the task's current state."""
+        self.dequeue(task)
+        self.enqueue(task)
+
+    # ------------------------------------------------------------------
+    # Picking
+    # ------------------------------------------------------------------
+    def peek_next(self) -> Task | None:
+        """Leftmost task; may be VB-blocked if every queued task is."""
+        if not self.tree:
+            return None
+        _, task = self.tree.min_item()
+        return task
+
+    def pick_next(self) -> Task | None:
+        """Remove and return the leftmost task."""
+        if not self.tree:
+            return None
+        _, task = self.tree.pop_min()
+        task.rq_key = None
+        return task
+
+    def update_min_vruntime(self) -> None:
+        candidates = []
+        if self.curr is not None and self.curr.thread_state == 0:
+            candidates.append(self.curr.vruntime)
+        if self.tree:
+            key, task = self.tree.min_item()
+            if task.thread_state == 0:
+                candidates.append(key[0])
+        if candidates:
+            self.min_vruntime = max(self.min_vruntime, min(candidates))
+
+    def place_vruntime(self, task: Task, sleeper_bonus_ns: int = 0) -> None:
+        """CFS ``place_entity``: cap a sleeper's vruntime near the queue's
+        min so it gets scheduled soon without starving the queue."""
+        target = self.min_vruntime - sleeper_bonus_ns
+        task.vruntime = max(task.vruntime, target)
+
+    def tasks(self) -> list[Task]:
+        return [t for _, t in self.tree.items()]
+
+    def steal_candidates(self) -> list[Task]:
+        """Queued tasks eligible for migration (never the current task;
+        VB-blocked tasks are skipped in migration, per Section 3.1)."""
+        return [
+            t
+            for _, t in self.tree.items()
+            if t.thread_state == 0 and t.state is TaskState.RUNNABLE
+        ]

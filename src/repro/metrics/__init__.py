@@ -1,0 +1,6 @@
+"""Run statistics and summary helpers."""
+
+from .stats import percentile, summarize_latencies, LatencySummary
+from .collector import CpuBreakdown, RunStats, collect
+
+__all__ = ["percentile", "summarize_latencies", "LatencySummary", "CpuBreakdown", "RunStats", "collect"]

@@ -1,0 +1,53 @@
+"""Latency/throughput statistics helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Nearest-rank percentile (what mutilate reports)."""
+    if not len(values):
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError(f"percentile {pct} out of [0, 100]")
+    arr = np.sort(np.asarray(values, dtype=np.float64))
+    rank = max(0, min(len(arr) - 1, int(np.ceil(pct / 100.0 * len(arr))) - 1))
+    return float(arr[rank])
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "max": self.max,
+        }
+
+
+def summarize_latencies(values: Sequence[float]) -> LatencySummary:
+    if not len(values):
+        raise ValueError("no latency samples")
+    arr = np.asarray(values, dtype=np.float64)
+    return LatencySummary(
+        count=len(arr),
+        mean=float(arr.mean()),
+        p50=percentile(arr, 50),
+        p95=percentile(arr, 95),
+        p99=percentile(arr, 99),
+        max=float(arr.max()),
+    )

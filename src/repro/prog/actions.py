@@ -1,0 +1,243 @@
+"""Actions a simulated thread program may yield.
+
+A program is a Python generator; each ``yield <Action>`` hands control to
+the kernel, which simulates the action's cost and semantics and resumes the
+generator with the action's result (usually ``None``; ``EpollWait`` returns
+the posted payload).  Example::
+
+    def worker(mutex, n):
+        for _ in range(n):
+            yield Compute(50_000)            # 50 us of work
+            yield MutexAcquire(mutex)
+            yield Compute(2_000)             # critical section
+            yield MutexRelease(mutex)
+
+Synchronization actions reference primitive objects from `repro.sync`; the
+kernel drives those objects through their ``acquire``/``release``/... hooks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..hw.memmodel import AccessPattern
+
+
+class Action:
+    """Base marker class for all program actions."""
+
+    __slots__ = ()
+
+
+@dataclass
+class Compute(Action):
+    """Burn ``ns`` nanoseconds of CPU time (preemptible, resumable)."""
+
+    ns: int
+
+    def __post_init__(self) -> None:
+        if self.ns < 0:
+            raise ValueError("Compute duration must be >= 0")
+
+
+@dataclass
+class MemTraverse(Action):
+    """Traverse a memory region; duration comes from the memory model.
+
+    ``total_bytes`` is the combined footprint of all threads sharing the
+    core (used for flush/fit arithmetic); defaults to ``region_bytes``.
+    """
+
+    pattern: AccessPattern
+    region_bytes: int
+    total_bytes: int | None = None
+    epochs: int = 1
+    nthreads: int = 1
+
+
+class SharedCounter:
+    """A cacheline shared by threads, updated with atomic RMW ops."""
+
+    __slots__ = ("name", "value", "last_writer_cpu", "updates")
+
+    def __init__(self, name: str = "ctr"):
+        self.name = name
+        self.value = 0
+        self.last_writer_cpu: int | None = None
+        self.updates = 0
+
+
+@dataclass
+class AtomicRmw(Action):
+    """``__sync_fetch_and_add`` on a shared cacheline (Figure 2b)."""
+
+    counter: SharedCounter
+    count: int = 1
+
+
+@dataclass
+class Yield(Action):
+    """sched_yield(): step behind the other runnable tasks."""
+
+
+@dataclass
+class SleepNs(Action):
+    """Timed sleep (off the runqueue; woken by a timer)."""
+
+    ns: int
+
+
+# ---------------------------------------------------------------------------
+# Blocking synchronization (futex-backed primitives from repro.sync.blocking)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MutexAcquire(Action):
+    mutex: Any
+
+
+@dataclass
+class MutexRelease(Action):
+    mutex: Any
+
+
+@dataclass
+class CondWait(Action):
+    cond: Any
+
+
+@dataclass
+class CondWaitRequeue(Action):
+    """pthread_cond_wait proper: atomically release ``mutex`` and sleep on
+    ``cond``.  Pair with :class:`MutexEnsure` afterwards (or use the
+    :func:`repro.prog.patterns.cond_wait` helper) to re-own the mutex.
+    """
+
+    cond: Any
+    mutex: Any
+
+
+@dataclass
+class MutexEnsure(Action):
+    """Own ``mutex`` on return: free if a requeue handoff already granted
+    it, a full (possibly blocking) acquire otherwise."""
+
+    mutex: Any
+
+
+@dataclass
+class CondSignal(Action):
+    cond: Any
+
+
+@dataclass
+class CondBroadcast(Action):
+    cond: Any
+
+
+@dataclass
+class CondBroadcastRequeue(Action):
+    """glibc-style broadcast: wake one waiter, requeue the rest onto the
+    mutex so they are handed the lock one at a time (no thundering herd).
+    """
+
+    cond: Any
+    mutex: Any
+
+
+@dataclass
+class BarrierWait(Action):
+    barrier: Any
+
+
+@dataclass
+class SemWait(Action):
+    sem: Any
+
+
+@dataclass
+class SemPost(Action):
+    sem: Any
+
+
+@dataclass
+class RwAcquireRead(Action):
+    lock: Any
+
+
+@dataclass
+class RwReleaseRead(Action):
+    lock: Any
+
+
+@dataclass
+class RwAcquireWrite(Action):
+    lock: Any
+
+
+@dataclass
+class RwReleaseWrite(Action):
+    lock: Any
+
+
+# ---------------------------------------------------------------------------
+# Busy-waiting synchronization (spinlocks from repro.sync.spin)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SpinAcquire(Action):
+    lock: Any
+
+
+@dataclass
+class SpinRelease(Action):
+    lock: Any
+
+
+class SpinFlag:
+    """A plain shared variable threads poll — ad-hoc spinning (NPB lu /
+    SPLASH-2 volrend style).  No PAUSE instruction unless stated."""
+
+    __slots__ = ("name", "value", "waiters", "uses_pause")
+
+    def __init__(self, name: str = "flag", uses_pause: bool = False):
+        self.name = name
+        self.value = 0
+        self.waiters: list = []
+        self.uses_pause = uses_pause
+
+
+@dataclass
+class SpinUntilFlag(Action):
+    """Busy-wait until ``flag.value >= target``."""
+
+    flag: SpinFlag
+    target: int = 1
+
+
+@dataclass
+class FlagSet(Action):
+    """Set (or add to) a spin flag, releasing its pollers."""
+
+    flag: SpinFlag
+    value: int = 1
+    add: bool = False
+
+
+# ---------------------------------------------------------------------------
+# Event-based blocking (epoll)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class EpollWait(Action):
+    """Block until an event is posted to the epoll instance.
+
+    Resumes with the posted payload (or a batch, if several are pending).
+    """
+
+    epoll: Any
+    max_events: int = 16

@@ -1,0 +1,154 @@
+"""OpenMP-style fork-join runtime over simulated threads.
+
+NPB (one third of the paper's suite) is written in OpenMP; this layer
+models its execution structure so workloads can be expressed the way the
+original programs are:
+
+* a **team** of persistent worker threads (OpenMP threads map 1:1 onto
+  kernel threads — exactly the oversubscription the paper studies);
+* ``parallel_for`` regions with **static**, **dynamic**, or **guided**
+  loop scheduling (dynamic/guided fetch chunks from a shared counter via
+  an atomic fetch-and-add, like libgomp);
+* an implicit barrier at the end of every region (futex-based, so it goes
+  through the paper's vanilla or VB wakeup paths).
+
+Static scheduling pre-partitions iterations (no runtime coordination but
+poor balance on irregular loops); dynamic buys balance with one atomic per
+chunk.  Under oversubscription the end-of-region barrier is where vanilla
+Linux loses time — the same group-wakeup pathology as Figure 9/10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generator, Sequence
+
+from ..errors import ProgramError
+from ..sync import Barrier
+from .actions import Action, AtomicRmw, BarrierWait, Compute, SharedCounter
+
+
+@dataclass(frozen=True)
+class LoopSchedule:
+    """An OpenMP ``schedule(...)`` clause."""
+
+    kind: str  # "static" | "dynamic" | "guided"
+    chunk: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("static", "dynamic", "guided"):
+            raise ProgramError(f"unknown schedule kind {self.kind!r}")
+        if self.chunk < 1:
+            raise ProgramError("chunk must be >= 1")
+
+
+class ParallelRegion:
+    """Shared state of one ``parallel for`` region."""
+
+    def __init__(
+        self,
+        iter_costs_ns: Sequence[int],
+        nthreads: int,
+        schedule: LoopSchedule,
+        name: str = "omp",
+    ):
+        if nthreads < 1:
+            raise ProgramError("need at least one OpenMP thread")
+        self.iter_costs_ns = list(iter_costs_ns)
+        self.nthreads = nthreads
+        self.schedule = schedule
+        self.name = name
+        self.barrier = Barrier(nthreads, f"{name}.join")
+        # libgomp's shared work descriptor: next chunk index.
+        self.next_counter = SharedCounter(f"{name}.next")
+        self._next = 0
+        self.executed = [0] * nthreads  # iterations run per thread
+
+    # -- chunk dispensers ------------------------------------------------
+    def static_chunks(self, tid: int) -> list[tuple[int, int]]:
+        """Round-robin chunk assignment computed at region entry."""
+        n = len(self.iter_costs_ns)
+        c = self.schedule.chunk
+        chunks = []
+        start = tid * c
+        stride = self.nthreads * c
+        while start < n:
+            chunks.append((start, min(n, start + c)))
+            start += stride
+        return chunks
+
+    def grab_dynamic(self) -> tuple[int, int] | None:
+        n = len(self.iter_costs_ns)
+        if self._next >= n:
+            return None
+        start = self._next
+        end = min(n, start + self.schedule.chunk)
+        self._next = end
+        return (start, end)
+
+    def grab_guided(self, remaining_threads: int) -> tuple[int, int] | None:
+        n = len(self.iter_costs_ns)
+        if self._next >= n:
+            return None
+        remaining = n - self._next
+        size = max(self.schedule.chunk, remaining // (2 * self.nthreads))
+        start = self._next
+        end = min(n, start + size)
+        self._next = end
+        return (start, end)
+
+
+def omp_thread(
+    region: ParallelRegion, tid: int
+) -> Generator[Action, None, None]:
+    """One team member's execution of the region (ends at the barrier)."""
+    if not 0 <= tid < region.nthreads:
+        raise ProgramError(f"tid {tid} out of range")
+    sched = region.schedule
+    if sched.kind == "static":
+        for start, end in region.static_chunks(tid):
+            cost = sum(region.iter_costs_ns[start:end])
+            if cost:
+                yield Compute(cost)
+            region.executed[tid] += end - start
+    else:
+        grab = (
+            region.grab_dynamic
+            if sched.kind == "dynamic"
+            else lambda: region.grab_guided(region.nthreads)
+        )
+        while True:
+            # The chunk fetch is an atomic fetch-and-add on the shared
+            # work descriptor (cacheline ping-pong under contention).
+            yield AtomicRmw(region.next_counter)
+            chunk = grab()
+            if chunk is None:
+                break
+            start, end = chunk
+            cost = sum(region.iter_costs_ns[start:end])
+            if cost:
+                yield Compute(cost)
+            region.executed[tid] += end - start
+    yield BarrierWait(region.barrier)  # implicit end-of-region barrier
+
+
+def parallel_for(
+    iter_costs_ns: Sequence[int],
+    nthreads: int,
+    schedule: LoopSchedule | None = None,
+    regions: int = 1,
+    name: str = "omp",
+) -> tuple[list[Generator[Action, None, None]], list[ParallelRegion]]:
+    """Build one generator per team thread executing ``regions`` identical
+    parallel-for regions back to back (the NPB iteration structure)."""
+    schedule = schedule or LoopSchedule("static")
+    region_objs = [
+        ParallelRegion(iter_costs_ns, nthreads, schedule, f"{name}.{r}")
+        for r in range(regions)
+    ]
+
+    def team_member(tid: int):
+        for region in region_objs:
+            yield from omp_thread(region, tid)
+
+    return [team_member(t) for t in range(nthreads)], region_objs

@@ -1,0 +1,71 @@
+"""Composable program fragments (``yield from`` helpers).
+
+These wrap multi-action protocols so workload code reads like pthreads:
+
+    yield MutexAcquire(m)
+    while not ready():
+        yield from cond_wait(cv, m)     # releases m, sleeps, re-owns m
+    ...
+    yield MutexRelease(m)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from .actions import (
+    Action,
+    CondBroadcastRequeue,
+    CondWaitRequeue,
+    MutexAcquire,
+    MutexEnsure,
+    MutexRelease,
+    RwAcquireRead,
+    RwAcquireWrite,
+    RwReleaseRead,
+    RwReleaseWrite,
+)
+
+
+def cond_wait(cond: Any, mutex: Any) -> Generator[Action, Any, None]:
+    """pthread_cond_wait: atomically release ``mutex`` and sleep on
+    ``cond``; re-own ``mutex`` before returning.
+
+    A waiter woken through the requeue path already owns the mutex (the
+    release handoff granted it); a directly-woken waiter re-acquires.
+    """
+    yield CondWaitRequeue(cond, mutex)
+    yield MutexEnsure(mutex)
+
+
+def cond_broadcast(cond: Any, mutex: Any) -> Generator[Action, Any, None]:
+    """pthread_cond_broadcast with the glibc requeue optimization."""
+    yield CondBroadcastRequeue(cond, mutex)
+
+
+def with_mutex(mutex: Any, *body: Action) -> Generator[Action, Any, None]:
+    """Run ``body`` actions inside an acquire/release pair."""
+    yield MutexAcquire(mutex)
+    try:
+        for action in body:
+            yield action
+    finally:
+        yield MutexRelease(mutex)
+
+
+def read_locked(lock: Any, *body: Action) -> Generator[Action, Any, None]:
+    yield RwAcquireRead(lock)
+    try:
+        for action in body:
+            yield action
+    finally:
+        yield RwReleaseRead(lock)
+
+
+def write_locked(lock: Any, *body: Action) -> Generator[Action, Any, None]:
+    yield RwAcquireWrite(lock)
+    try:
+        for action in body:
+            yield action
+    finally:
+        yield RwReleaseWrite(lock)

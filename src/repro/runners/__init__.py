@@ -1,0 +1,6 @@
+"""Experiment drivers that regenerate every table and figure."""
+
+from . import ablations, adaptation, figures
+from .report import format_table
+
+__all__ = ["ablations", "adaptation", "figures", "format_table"]

@@ -1,0 +1,119 @@
+"""Ablation studies over the design choices DESIGN.md calls out.
+
+Each ablation disables one ingredient of VB or BWD and measures the same
+headline workloads, quantifying how much of the end-to-end win that
+ingredient carries:
+
+* **VB / immediate schedule** — Section 3.1 prioritizes threads waking
+  from virtual blocking like the traditional wakeup path prioritizes real
+  sleepers.  Without it, woken threads wait a fair turn behind whoever is
+  running.
+* **VB / disable rule** — VB turns itself off while a bucket has fewer
+  waiters than cores so simultaneous wakeups can spread to idle cores.
+  Without it, wakes always re-key in place (no spreading).
+* **BWD / skip flag** — a detected spinner is not rescheduled until every
+  other task on its core ran.  Without it, the spinner only loses the
+  rest of its slice and may burn another window right away.
+* **BWD / period** — the 100 us monitoring period trades detection
+  latency against timer overhead.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from ..config import BwdConfig, SimConfig, optimized_config, vanilla_config
+from ..workloads.pipeline import spin_pipeline_run
+from ..workloads.profiles import SUITE
+from ..workloads.synthetic import run_suite_benchmark
+
+
+@dataclass(frozen=True)
+class AblationRow:
+    mechanism: str  # "vb" | "bwd"
+    variant: str
+    workload: str
+    duration_ns: int
+
+
+def _vb_variants(seed: int) -> list[tuple[str, SimConfig]]:
+    full = optimized_config(cores=8, seed=seed, bwd=False)
+    return [
+        ("full VB", full),
+        (
+            "no immediate schedule",
+            full.replace(
+                vb=dataclasses.replace(full.vb, immediate_schedule=False)
+            ),
+        ),
+        (
+            "no disable rule",
+            full.replace(
+                vb=dataclasses.replace(
+                    full.vb, disable_when_undersubscribed=False
+                )
+            ),
+        ),
+        ("vanilla (no VB)", vanilla_config(cores=8, seed=seed)),
+    ]
+
+
+def vb_ablation(
+    apps: list[str] | None = None,
+    work_scale: float = 0.5,
+    seed: int = 2021,
+) -> list[AblationRow]:
+    """VB ingredient ablation on oversubscribed blocking benchmarks."""
+    rows = []
+    for app in apps or ["streamcluster", "cg"]:
+        prof = SUITE[app]
+        for variant, cfg in _vb_variants(seed):
+            run = run_suite_benchmark(prof, 32, cfg, work_scale=work_scale)
+            rows.append(AblationRow("vb", variant, app, run.duration_ns))
+    return rows
+
+
+def _bwd_variants(seed: int) -> list[tuple[str, SimConfig]]:
+    full = optimized_config(cores=8, seed=seed, vb=False, bwd=True)
+    return [
+        ("full BWD", full),
+        (
+            "no skip flag",
+            full.replace(bwd=dataclasses.replace(full.bwd, skip_flag=False)),
+        ),
+        (
+            "period 50us",
+            full.replace(bwd=dataclasses.replace(full.bwd, period_ns=50_000)),
+        ),
+        (
+            "period 400us",
+            full.replace(bwd=dataclasses.replace(full.bwd, period_ns=400_000)),
+        ),
+        ("vanilla (no BWD)", vanilla_config(cores=8, seed=seed)),
+    ]
+
+
+def bwd_ablation(
+    workloads: list[str] | None = None,
+    work_scale: float = 0.4,
+    seed: int = 2021,
+) -> list[AblationRow]:
+    """BWD ingredient ablation on oversubscribed spinning workloads.
+
+    ``workloads`` entries are either suite spin apps ("lu", "volrend") or
+    "pipeline:<lock>" for the Figure 13 micro-benchmark.
+    """
+    rows = []
+    for wl in workloads or ["volrend", "pipeline:mcs"]:
+        for variant, cfg in _bwd_variants(seed):
+            if wl.startswith("pipeline:"):
+                alg = wl.split(":", 1)[1]
+                r = spin_pipeline_run(cfg, alg, 32, total_stages=480)
+                rows.append(AblationRow("bwd", variant, wl, r.duration_ns))
+            else:
+                run = run_suite_benchmark(
+                    SUITE[wl], 32, cfg, work_scale=work_scale
+                )
+                rows.append(AblationRow("bwd", variant, wl, run.duration_ns))
+    return rows

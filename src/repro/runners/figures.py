@@ -1,0 +1,584 @@
+"""Drivers that regenerate every table and figure of the paper.
+
+Each ``figNN_*`` / ``tableN_*`` function runs the corresponding experiment
+and returns structured rows; ``format_table`` renders them like the paper's
+tables.  Absolute times are simulated-virtual; the claims to check are the
+*shapes*: who wins, by what factor, where the crossovers fall (recorded in
+EXPERIMENTS.md).
+
+``work_scale`` shrinks or grows the synthetic problem sizes so the full
+suite can run in seconds (benchmarks) or minutes (full fidelity).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable
+
+from ..config import (
+    ExecMode,
+    SimConfig,
+    optimized_config,
+    ple_config,
+    vanilla_config,
+)
+from ..hw.memmodel import AccessPattern, MemoryModel
+from ..config import HardwareConfig
+from ..metrics.stats import LatencySummary
+from ..workloads.memcached import MemcachedConfig, memcached_run
+from ..workloads.microbench import (
+    direct_cost_per_switch_ns,
+    direct_cost_run,
+    primitive_stress_run,
+)
+from ..workloads.pipeline import spin_pipeline_run
+from ..workloads.profiles import (
+    SUITE,
+    BenchmarkProfile,
+    Group,
+    SyncKind,
+    fig9_profiles,
+    profile,
+)
+from ..workloads.spindetect import (
+    FpResult,
+    TpResult,
+    false_positive_probe,
+    true_positive_probe,
+)
+from ..workloads.synthetic import run_suite_benchmark
+from ..sync import Mutex, Mutexee, McsTp, ShflLock
+
+SPINLOCK_ORDER = [
+    "alock-ls", "clh", "malth", "mcs", "partitioned",
+    "pthread", "ticket", "ttas", "cna", "aqs",
+]
+
+FIG11_APPS = ["ep", "facesim", "streamcluster", "ocean", "cg"]
+FIG15_APPS = ["freqmine", "streamcluster", "lu_cb", "ocean", "radix"]
+TABLE3_APPS = ["is", "ep", "cg", "mg", "ft", "sp", "bt", "ua"]
+
+
+def _suite_opt_config(prof: BenchmarkProfile, cores: int, smt: bool = False,
+                      seed: int = 2021) -> SimConfig:
+    """The paper's per-section 'optimized' kernel: VB for blocking
+    workloads (Section 4.2), BWD for spinning ones (Section 4.3)."""
+    spinning = prof.group is Group.SUFFER_SPINNING
+    return optimized_config(
+        cores=cores, smt=smt, seed=seed, vb=not spinning, bwd=spinning
+    )
+
+
+# =====================================================================
+# Figure 1 — suite overview: 8T vs 32T on 8 cores, vanilla Linux
+# =====================================================================
+@dataclass(frozen=True)
+class Fig1Row:
+    name: str
+    group: str
+    t8_ns: int
+    t32_ns: int
+    paper_ratio: float
+
+    @property
+    def ratio(self) -> float:
+        return self.t32_ns / self.t8_ns
+
+
+def fig01_overview(
+    work_scale: float = 1.0,
+    names: list[str] | None = None,
+    seed: int = 2021,
+) -> list[Fig1Row]:
+    rows = []
+    for name in names or list(SUITE):
+        prof = SUITE[name]
+        base = run_suite_benchmark(
+            prof, 8, vanilla_config(cores=8, seed=seed), work_scale=work_scale
+        )
+        over = run_suite_benchmark(
+            prof, 32, vanilla_config(cores=8, seed=seed), work_scale=work_scale
+        )
+        rows.append(
+            Fig1Row(
+                name=name,
+                group=prof.group.value,
+                t8_ns=base.duration_ns,
+                t32_ns=over.duration_ns,
+                paper_ratio=prof.fig1_expected,
+            )
+        )
+    return rows
+
+
+# =====================================================================
+# Figure 2 — direct cost of context switching
+# =====================================================================
+@dataclass(frozen=True)
+class Fig2Row:
+    nthreads: int
+    pure_ns: int
+    atomic_ns: int
+    pure_normalized: float
+    atomic_normalized: float
+
+
+def fig02_direct_cost(
+    max_threads: int = 8,
+    total_work_ms: float = 30.0,
+    seed: int = 2021,
+) -> tuple[list[Fig2Row], float]:
+    """Returns the per-thread-count rows plus the backed-out per-switch
+    cost in nanoseconds (the paper measures ~1500 ns)."""
+    cfg = vanilla_config(cores=1, seed=seed)
+    pure1 = direct_cost_run(cfg, 1, total_work_ms)
+    atomic1 = direct_cost_run(cfg, 1, total_work_ms, atomic=True)
+    rows = []
+    for n in range(1, max_threads + 1):
+        p = direct_cost_run(cfg, n, total_work_ms)
+        a = direct_cost_run(cfg, n, total_work_ms, atomic=True)
+        rows.append(
+            Fig2Row(
+                nthreads=n,
+                pure_ns=p.duration_ns,
+                atomic_ns=a.duration_ns,
+                pure_normalized=p.duration_ns / pure1.duration_ns,
+                atomic_normalized=a.duration_ns / atomic1.duration_ns,
+            )
+        )
+    per_switch = direct_cost_per_switch_ns(cfg, nthreads=max_threads)
+    return rows, per_switch
+
+
+# =====================================================================
+# Figure 3 — interval between synchronizations across the suite
+# =====================================================================
+@dataclass(frozen=True)
+class Fig3Row:
+    name: str
+    interval_us: float  # measured: CPU time divided by blocking syncs
+
+
+def fig03_sync_intervals(
+    work_scale: float = 0.5, seed: int = 2021
+) -> list[Fig3Row]:
+    rows = []
+    for name, prof in SUITE.items():
+        if prof.kind is SyncKind.SPIN_WAVEFRONT:
+            continue  # spinning apps do not block; Figure 3 counts blocks
+        run = run_suite_benchmark(
+            prof,
+            prof.optimal_threads,
+            vanilla_config(cores=32, seed=seed),
+            work_scale=work_scale,
+        )
+        blocks = max(1, run.stats.blocks)
+        interval_us = run.stats.total_cpu_ns / blocks / 1e3
+        rows.append(Fig3Row(name=name, interval_us=interval_us))
+    return rows
+
+
+def fig03_histogram(
+    rows: list[Fig3Row], bin_us: float = 100.0, max_us: float = 1000.0
+) -> list[tuple[str, int]]:
+    """The paper's histogram: number of programs per interval bucket."""
+    nbins = int(max_us / bin_us)
+    counts = [0] * (nbins + 1)
+    for r in rows:
+        idx = min(nbins, int(r.interval_us / bin_us))
+        counts[idx] += 1
+    labels = [f"{int(i * bin_us)}-{int((i + 1) * bin_us)}" for i in range(nbins)]
+    labels.append(f">={int(max_us)}")
+    return list(zip(labels, counts))
+
+
+# =====================================================================
+# Figure 4 — indirect cost of context switches vs working-set size
+# =====================================================================
+def fig04_indirect_cost(
+    sizes_bytes: list[int] | None = None,
+    nthreads: int = 2,
+) -> dict[str, list[tuple[int, float]]]:
+    """Per access pattern: (total array bytes, cost per CS in ns)."""
+    KB = 1024
+    MB = 1024 * KB
+    sizes = sizes_bytes or [
+        64 * KB, 128 * KB, 256 * KB, 512 * KB, 1 * MB, 2 * MB, 4 * MB,
+        8 * MB, 16 * MB, 32 * MB, 64 * MB, 128 * MB,
+    ]
+    model = MemoryModel(HardwareConfig())
+    out: dict[str, list[tuple[int, float]]] = {}
+    for pattern in AccessPattern:
+        series = []
+        for size in sizes:
+            r = model.indirect_cs_cost(pattern, size, nthreads=nthreads)
+            series.append((size, r["cost_per_cs_ns"]))
+        out[pattern.value] = series
+    return out
+
+
+# =====================================================================
+# Figure 9 / Table 1 — VB on the 13 blocking benchmarks
+# =====================================================================
+@dataclass(frozen=True)
+class Fig9Row:
+    name: str
+    smt: bool
+    t8_vanilla_ns: int
+    t32_vanilla_ns: int
+    t32_optimized_ns: int
+    util_8t: float
+    util_32t: float
+    util_opt: float
+    migr_in_8t: int
+    migr_in_32t: int
+    migr_in_opt: int
+    migr_cross_8t: int
+    migr_cross_32t: int
+    migr_cross_opt: int
+
+    @property
+    def vanilla_ratio(self) -> float:
+        return self.t32_vanilla_ns / self.t8_vanilla_ns
+
+    @property
+    def optimized_ratio(self) -> float:
+        return self.t32_optimized_ns / self.t8_vanilla_ns
+
+
+def fig09_vb_applications(
+    work_scale: float = 1.0,
+    smt: bool = False,
+    names: list[str] | None = None,
+    seed: int = 2021,
+) -> list[Fig9Row]:
+    """Figure 9's runs; Table 1 reads the same rows' util/migration columns."""
+    rows = []
+    profs = (
+        [SUITE[n] for n in names] if names is not None else fig9_profiles()
+    )
+    for prof in profs:
+        van = vanilla_config(cores=8, smt=smt, seed=seed)
+        opt = _suite_opt_config(prof, cores=8, smt=smt, seed=seed)
+        base = run_suite_benchmark(prof, 8, van, work_scale=work_scale)
+        over = run_suite_benchmark(prof, 32, van, work_scale=work_scale)
+        best = run_suite_benchmark(prof, 32, opt, work_scale=work_scale)
+        rows.append(
+            Fig9Row(
+                name=prof.name,
+                smt=smt,
+                t8_vanilla_ns=base.duration_ns,
+                t32_vanilla_ns=over.duration_ns,
+                t32_optimized_ns=best.duration_ns,
+                util_8t=base.stats.cpu_utilization_pct,
+                util_32t=over.stats.cpu_utilization_pct,
+                util_opt=best.stats.cpu_utilization_pct,
+                migr_in_8t=base.stats.migrations_in_node,
+                migr_in_32t=over.stats.migrations_in_node,
+                migr_in_opt=best.stats.migrations_in_node,
+                migr_cross_8t=base.stats.migrations_cross_node,
+                migr_cross_32t=over.stats.migrations_cross_node,
+                migr_cross_opt=best.stats.migrations_cross_node,
+            )
+        )
+    return rows
+
+
+# =====================================================================
+# Figure 10 — VB on pthreads primitives
+# =====================================================================
+@dataclass(frozen=True)
+class Fig10Row:
+    primitive: str
+    nthreads: int
+    cores: int
+    vanilla_ns: int
+    optimized_ns: int
+
+    @property
+    def speedup(self) -> float:
+        return self.vanilla_ns / self.optimized_ns
+
+
+def fig10_primitives(
+    thread_counts: list[int] | None = None,
+    core_counts: list[int] | None = None,
+    iterations: int = 1_000,
+    seed: int = 2021,
+) -> tuple[list[Fig10Row], list[Fig10Row]]:
+    """(a) varying threads on one core; (b) 32 threads on varying cores."""
+    thread_counts = thread_counts or [1, 2, 4, 8, 16, 32]
+    core_counts = core_counts or [1, 2, 4, 8, 16, 32]
+    part_a, part_b = [], []
+    for prim in ("mutex", "cond", "barrier"):
+        for n in thread_counts:
+            van = primitive_stress_run(
+                vanilla_config(cores=1, seed=seed), prim, n, iterations
+            )
+            opt = primitive_stress_run(
+                optimized_config(cores=1, seed=seed, bwd=False),
+                prim, n, iterations,
+            )
+            part_a.append(Fig10Row(prim, n, 1, van.duration_ns, opt.duration_ns))
+        for c in core_counts:
+            van = primitive_stress_run(
+                vanilla_config(cores=c, seed=seed), prim, 32, iterations
+            )
+            opt = primitive_stress_run(
+                optimized_config(cores=c, seed=seed, bwd=False),
+                prim, 32, iterations,
+            )
+            part_b.append(Fig10Row(prim, 32, c, van.duration_ns, opt.duration_ns))
+    return part_a, part_b
+
+
+# =====================================================================
+# Figure 11 — exploiting CPU elasticity (core count sweep)
+# =====================================================================
+@dataclass(frozen=True)
+class Fig11Point:
+    app: str
+    cores: int
+    setting: str  # "#core-T(vanilla)" | "8T(vanilla)" | "32T(vanilla)" |
+    #               "32T(pinned)" | "32T(optimized)"
+    duration_ns: int | None  # None = crashed (pinning with too few CPUs)
+
+
+def fig11_elasticity(
+    core_counts: list[int] | None = None,
+    apps: list[str] | None = None,
+    work_scale: float = 1.0,
+    seed: int = 2021,
+) -> list[Fig11Point]:
+    core_counts = core_counts or [2, 4, 8, 16, 32]
+    points = []
+    for app in apps or FIG11_APPS:
+        prof = SUITE[app]
+        for c in core_counts:
+            settings: list[tuple[str, int, SimConfig, bool]] = [
+                ("#core-T(vanilla)", c, vanilla_config(cores=c, seed=seed), False),
+                ("8T(vanilla)", 8, vanilla_config(cores=c, seed=seed), False),
+                ("32T(vanilla)", 32, vanilla_config(cores=c, seed=seed), False),
+                ("32T(pinned)", 32, vanilla_config(cores=c, seed=seed), True),
+                ("32T(optimized)", 32,
+                 _suite_opt_config(prof, cores=c, seed=seed), False),
+            ]
+            for label, nthreads, cfg, pinned in settings:
+                try:
+                    run = run_suite_benchmark(
+                        prof, nthreads, cfg,
+                        work_scale=work_scale, pinned=pinned,
+                    )
+                    points.append(Fig11Point(app, c, label, run.duration_ns))
+                except Exception:
+                    # The paper: "programs crashed when CPU count decreased"
+                    # under pinning; record the failure.
+                    points.append(Fig11Point(app, c, label, None))
+    return points
+
+
+# =====================================================================
+# Figure 12 — memcached under oversubscription
+# =====================================================================
+@dataclass(frozen=True)
+class Fig12Row:
+    cores: int
+    setting: str  # "4T(vanilla)" | "16T(vanilla)" | "16T(optimized)"
+    throughput_ops: float
+    latency: LatencySummary
+
+
+def fig12_memcached(
+    core_counts: list[int] | None = None,
+    duration_ms: float = 250.0,
+    seed: int = 2021,
+) -> list[Fig12Row]:
+    core_counts = core_counts or [4, 8, 16]
+    rows = []
+    for c in core_counts:
+        settings = [
+            ("4T(vanilla)", vanilla_config(cores=c, seed=seed), 4),
+            ("16T(vanilla)", vanilla_config(cores=c, seed=seed), 16),
+            ("16T(optimized)",
+             optimized_config(cores=c, seed=seed, bwd=False), 16),
+        ]
+        for label, cfg, workers in settings:
+            r = memcached_run(
+                cfg, MemcachedConfig(workers=workers), duration_ms=duration_ms
+            )
+            rows.append(
+                Fig12Row(
+                    cores=c,
+                    setting=label,
+                    throughput_ops=r.throughput_ops,
+                    latency=r.latency_summary(),
+                )
+            )
+    return rows
+
+
+# =====================================================================
+# Figure 13 — BWD across ten spinlocks, container and KVM
+# =====================================================================
+@dataclass(frozen=True)
+class Fig13Row:
+    algorithm: str
+    environment: str  # "container" | "kvm"
+    setting: str  # "8T(vanilla)" | "32T(vanilla)" | "32T(PLE)" | "32T(optimized)"
+    duration_ns: int
+
+
+def fig13_spinlocks(
+    algorithms: list[str] | None = None,
+    environments: list[str] | None = None,
+    total_stages: int = 960,
+    seed: int = 2021,
+) -> list[Fig13Row]:
+    algorithms = algorithms or SPINLOCK_ORDER
+    environments = environments or ["container", "kvm"]
+    rows = []
+    for env in environments:
+        mode = ExecMode.VM if env == "kvm" else ExecMode.CONTAINER
+        settings: list[tuple[str, SimConfig, int]] = [
+            ("8T(vanilla)", vanilla_config(cores=8, mode=mode, seed=seed), 8),
+            ("32T(vanilla)", vanilla_config(cores=8, mode=mode, seed=seed), 32),
+        ]
+        if env == "kvm":
+            settings.append(("32T(PLE)", ple_config(cores=8, seed=seed), 32))
+        settings.append(
+            (
+                "32T(optimized)",
+                optimized_config(cores=8, mode=mode, seed=seed, vb=False),
+                32,
+            )
+        )
+        for alg in algorithms:
+            for label, cfg, nthreads in settings:
+                r = spin_pipeline_run(
+                    cfg, alg, nthreads, total_stages=total_stages
+                )
+                rows.append(Fig13Row(alg, env, label, r.duration_ns))
+    return rows
+
+
+# =====================================================================
+# Figure 14 — user-customized spinning (NPB lu, SPLASH-2 volrend)
+# =====================================================================
+@dataclass(frozen=True)
+class Fig14Row:
+    app: str
+    environment: str
+    nthreads: int
+    setting: str  # "vanilla" | "PLE" | "optimized"
+    duration_ns: int
+
+
+def fig14_custom_spin(
+    apps: list[str] | None = None,
+    thread_counts: list[int] | None = None,
+    environments: list[str] | None = None,
+    work_scale: float = 1.0,
+    seed: int = 2021,
+) -> list[Fig14Row]:
+    apps = apps or ["lu", "volrend"]
+    thread_counts = thread_counts or [8, 16, 32]
+    environments = environments or ["container", "vm"]
+    rows = []
+    for app in apps:
+        prof = SUITE[app]
+        for env in environments:
+            mode = ExecMode.VM if env == "vm" else ExecMode.CONTAINER
+            for n in thread_counts:
+                settings: list[tuple[str, SimConfig]] = [
+                    ("vanilla", vanilla_config(cores=8, mode=mode, seed=seed)),
+                ]
+                if env == "vm":
+                    settings.append(("PLE", ple_config(cores=8, seed=seed)))
+                settings.append(
+                    (
+                        "optimized",
+                        optimized_config(
+                            cores=8, mode=mode, seed=seed, vb=False
+                        ),
+                    )
+                )
+                for label, cfg in settings:
+                    r = run_suite_benchmark(
+                        prof, n, cfg, work_scale=work_scale
+                    )
+                    rows.append(Fig14Row(app, env, n, label, r.duration_ns))
+    return rows
+
+
+# =====================================================================
+# Figure 15 — comparison with SHFLLOCK / Mutexee / MCS-TP
+# =====================================================================
+@dataclass(frozen=True)
+class Fig15Row:
+    app: str
+    lock: str  # "pthread" | "mutexee" | "mcstp" | "shfllock" | "optimized"
+    duration_ns: int
+
+
+def fig15_lock_comparison(
+    apps: list[str] | None = None,
+    work_scale: float = 1.0,
+    seed: int = 2021,
+) -> list[Fig15Row]:
+    """32 threads on 8 cores; pthread primitives replaced by each lock
+    library (on vanilla Linux), vs unmodified pthreads on the VB+BWD
+    kernel ("optimized")."""
+    rows = []
+    for app in apps or FIG15_APPS:
+        base_prof = SUITE[app]
+        # The lock-library study interposes on the apps' pthread mutexes
+        # while the rest of their synchronization structure stays: model
+        # as barrier phases with per-phase lock sections (MIXED kind).
+        prof = dataclasses.replace(
+            base_prof,
+            kind=SyncKind.MIXED,
+            cs_us=3.0,
+        )
+        factories: list[tuple[str, Callable | None, SimConfig]] = [
+            ("pthread", None, vanilla_config(cores=8, seed=seed)),
+            ("mutexee", lambda n: Mutexee(n), vanilla_config(cores=8, seed=seed)),
+            ("mcstp", lambda n: McsTp(n), vanilla_config(cores=8, seed=seed)),
+            ("shfllock", lambda n: ShflLock(n), vanilla_config(cores=8, seed=seed)),
+            ("optimized", None, optimized_config(cores=8, seed=seed)),
+        ]
+        for label, factory, cfg in factories:
+            r = run_suite_benchmark(
+                prof, 32, cfg, work_scale=work_scale, mutex_factory=factory
+            )
+            rows.append(Fig15Row(app, label, r.duration_ns))
+    return rows
+
+
+# =====================================================================
+# Tables 2 and 3 — BWD accuracy
+# =====================================================================
+def table2_true_positive(
+    algorithms: list[str] | None = None,
+    duration_ms: float = 400.0,
+    seed: int = 2021,
+) -> list[TpResult]:
+    results = []
+    for i, alg in enumerate(algorithms or SPINLOCK_ORDER):
+        # Decorrelate the detection-noise draws between algorithms.
+        cfg = optimized_config(cores=1, seed=seed + 97 * i, vb=False, bwd=True)
+        results.append(true_positive_probe(cfg, alg, duration_ms=duration_ms))
+    return results
+
+
+def table3_false_positive(
+    apps: list[str] | None = None,
+    work_scale: float = 1.0,
+    seed: int = 2021,
+) -> list[FpResult]:
+    return [
+        false_positive_probe(
+            SUITE[name], seeds=(seed, seed + 5, seed + 11), work_scale=work_scale
+        )
+        for name in (apps or TABLE3_APPS)
+    ]

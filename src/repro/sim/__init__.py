@@ -1,0 +1,7 @@
+"""Discrete-event simulation core: engine, deterministic RNG, tracing."""
+
+from .engine import Engine, EventHandle
+from .rng import RngStreams
+from .trace import TraceRecorder, TraceEvent
+
+__all__ = ["Engine", "EventHandle", "RngStreams", "TraceRecorder", "TraceEvent"]

@@ -1,0 +1,118 @@
+"""Discrete-event engine with an integer-nanosecond clock.
+
+The engine is a single priority queue of ``(time, seq, handle)`` entries.
+Cancellation is lazy: :class:`EventHandle` carries a ``cancelled`` flag and
+popped events whose handle was cancelled are dropped.  ``seq`` makes ordering
+of simultaneous events deterministic (FIFO in scheduling order), which in turn
+makes every simulation bit-reproducible for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+from ..errors import SimulationError
+
+
+class EventHandle:
+    """Handle to a scheduled event; ``cancel()`` prevents its callback."""
+
+    __slots__ = ("time", "fn", "args", "cancelled")
+
+    def __init__(self, time: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        # Drop references so cancelled events do not pin large objects
+        # while they wait to be popped from the heap.
+        self.fn = _noop
+        self.args = ()
+
+
+def _noop(*_args) -> None:  # pragma: no cover - trivial
+    return None
+
+
+class Engine:
+    """Event loop owning the simulated clock."""
+
+    __slots__ = ("now", "_heap", "_seq", "_events_run")
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._heap: list[tuple[int, int, EventHandle]] = []
+        self._seq = 0
+        self._events_run = 0
+
+    @property
+    def events_run(self) -> int:
+        return self._events_run
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events still in the queue."""
+        return sum(1 for _, _, h in self._heap if not h.cancelled)
+
+    def schedule_at(self, time: int, fn: Callable[..., Any], *args) -> EventHandle:
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event at t={time} before now={self.now}"
+            )
+        handle = EventHandle(time, fn, args)
+        heapq.heappush(self._heap, (time, self._seq, handle))
+        self._seq += 1
+        return handle
+
+    def schedule(self, delay: int, fn: Callable[..., Any], *args) -> EventHandle:
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule_at(self.now + delay, fn, *args)
+
+    def peek_time(self) -> int | None:
+        """Time of the next live event, or None if the queue is empty."""
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0][0] if self._heap else None
+
+    def step(self) -> bool:
+        """Run the next live event. Returns False if none remain."""
+        while self._heap:
+            time, _, handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self.now = time
+            self._events_run += 1
+            handle.fn(*handle.args)
+            return True
+        return False
+
+    def run(
+        self,
+        until: int | None = None,
+        max_events: int | None = None,
+        stop_when: Callable[[], bool] | None = None,
+    ) -> None:
+        """Run events until the queue drains, ``until`` passes, or
+        ``stop_when()`` becomes true (checked between events)."""
+        count = 0
+        while True:
+            if stop_when is not None and stop_when():
+                return
+            if max_events is not None and count >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events} at t={self.now}; "
+                    "likely a livelock in the simulated system"
+                )
+            t = self.peek_time()
+            if t is None:
+                return
+            if until is not None and t > until:
+                self.now = until
+                return
+            self.step()
+            count += 1

@@ -1,0 +1,67 @@
+"""Lightweight event tracing.
+
+The kernel emits trace points (context switches, wakeups, migrations, BWD
+detections, ...) through a :class:`TraceRecorder`.  Recording is off by
+default — the metrics collector consumes counters instead — but tests and the
+examples turn it on to assert on exact event sequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    time: int
+    kind: str
+    cpu: int
+    task: str | None
+    detail: dict[str, Any]
+
+
+class TraceRecorder:
+    """Collects :class:`TraceEvent` records when enabled."""
+
+    def __init__(self, enabled: bool = False, kinds: set[str] | None = None):
+        self.enabled = enabled
+        self.kinds = kinds  # None = record everything
+        self.events: list[TraceEvent] = []
+
+    def emit(
+        self,
+        time: int,
+        kind: str,
+        cpu: int,
+        task: str | None = None,
+        **detail: Any,
+    ) -> None:
+        if not self.enabled:
+            return
+        if self.kinds is not None and kind not in self.kinds:
+            return
+        self.events.append(TraceEvent(time, kind, cpu, task, detail))
+
+    def of_kind(self, kind: str) -> Iterator[TraceEvent]:
+        return (e for e in self.events if e.kind == kind)
+
+    def count(self, kind: str) -> int:
+        return sum(1 for e in self.events if e.kind == kind)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def to_csv(self, path: str) -> int:
+        """Dump the recorded events as CSV; returns the row count."""
+        import csv
+
+        with open(path, "w", newline="") as fh:
+            w = csv.writer(fh)
+            w.writerow(["time_ns", "kind", "cpu", "task", "detail"])
+            for e in self.events:
+                w.writerow(
+                    [e.time, e.kind, e.cpu, e.task or "",
+                     ";".join(f"{k}={v}" for k, v in e.detail.items())]
+                )
+        return len(self.events)

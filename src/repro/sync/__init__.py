@@ -1,0 +1,52 @@
+"""Synchronization primitives over the simulated kernel.
+
+* `blocking` — futex-backed pthread-style primitives (mutex, condition
+  variable, barrier, semaphore) — benefit from virtual blocking.
+* `spin` — ten spinlock algorithms (Figure 13) — targets of BWD.
+* `spin_then_park` — Mutexee and MCS-TP hybrids (Figure 15 baselines).
+* `shfllock` — SHFLLOCK with queue shuffling and NUMA-aware wakeup.
+"""
+
+from .blocking import Mutex, CondVar, Barrier, Semaphore
+from .rwlock import RwLock
+from .spin import (
+    SpinLockBase,
+    TtasLock,
+    TicketLock,
+    McsLock,
+    ClhLock,
+    AlockLs,
+    PartitionedLock,
+    PthreadSpinLock,
+    MalthusianLock,
+    CnaLock,
+    AqsLock,
+    ALL_SPINLOCKS,
+    make_spinlock,
+)
+from .spin_then_park import Mutexee, McsTp
+from .shfllock import ShflLock
+
+__all__ = [
+    "Mutex",
+    "CondVar",
+    "Barrier",
+    "Semaphore",
+    "RwLock",
+    "SpinLockBase",
+    "TtasLock",
+    "TicketLock",
+    "McsLock",
+    "ClhLock",
+    "AlockLs",
+    "PartitionedLock",
+    "PthreadSpinLock",
+    "MalthusianLock",
+    "CnaLock",
+    "AqsLock",
+    "ALL_SPINLOCKS",
+    "make_spinlock",
+    "Mutexee",
+    "McsTp",
+    "ShflLock",
+]

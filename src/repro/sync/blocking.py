@@ -1,0 +1,170 @@
+"""Futex-backed blocking primitives (pthread equivalents).
+
+Each method is a kernel hook: it is invoked while the calling task is on
+CPU, returns the on-CPU cost of the call in nanoseconds, and may arrange a
+park through ``sys.futex_wait`` (the kernel parks the task when the charge
+completes).  Wakes go through ``sys.futex_wake``, whose cost — the paper's
+expensive serial wake path, or the cheap VB path — is charged to the caller.
+
+Handoff discipline: a released mutex/semaphore is granted directly to the
+first waiter (futex FIFO order), so ownership is determined at release time
+and no retry storm is modeled — matching glibc's low-level-lock behavior
+closely enough for scheduling purposes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..errors import ProgramError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..kernel.kernel import Kernel
+    from ..kernel.task import Task
+
+WAKE_ALL = 1 << 30
+
+
+class Mutex:
+    """pthread_mutex: one owner, FIFO handoff to the first futex waiter."""
+
+    __slots__ = ("name", "owner", "acquisitions", "contended")
+
+    def __init__(self, name: str = "mutex"):
+        self.name = name
+        self.owner: "Task | None" = None
+        self.acquisitions = 0
+        self.contended = 0
+
+    def acquire(self, sys: "Kernel", task: "Task") -> int:
+        fast = sys.config.user.fast_ns
+        if self.owner is None:
+            self.owner = task
+            self.acquisitions += 1
+            return fast
+        self.contended += 1
+        return fast + sys.futex_wait(task, self)
+
+    def release(self, sys: "Kernel", task: "Task") -> int:
+        if self.owner is not task:
+            raise ProgramError(
+                f"{task.name} released {self.name} owned by "
+                f"{self.owner.name if self.owner else None}"
+            )
+        fast = sys.config.user.fast_ns
+        nxt = sys.futex_peek(self)
+        if nxt is not None:
+            self.owner = nxt
+            self.acquisitions += 1
+            return fast + sys.futex_wake(task, self, 1)
+        self.owner = None
+        return fast
+
+    def ensure(self, sys: "Kernel", task: "Task") -> int:
+        """Own the mutex on return (no-op after a requeue handoff)."""
+        if self.owner is task:
+            return sys.config.user.fast_ns
+        return self.acquire(sys, task)
+
+
+class CondVar:
+    """pthread_cond: wait/signal/broadcast.
+
+    Programs that need the full mutex-protected protocol acquire/release
+    the mutex around these calls explicitly; the primitive itself only
+    manages the wait queue, as futex-based condvars do.
+    """
+
+    __slots__ = ("name", "signals", "broadcasts")
+
+    def __init__(self, name: str = "cond"):
+        self.name = name
+        self.signals = 0
+        self.broadcasts = 0
+
+    def wait(self, sys: "Kernel", task: "Task") -> int:
+        return sys.config.user.fast_ns + sys.futex_wait(task, self)
+
+    def signal(self, sys: "Kernel", task: "Task") -> int:
+        self.signals += 1
+        fast = sys.config.user.fast_ns
+        if sys.futex_waiters(self) == 0:
+            return fast
+        return fast + sys.futex_wake(task, self, 1)
+
+    def broadcast(self, sys: "Kernel", task: "Task") -> int:
+        self.broadcasts += 1
+        fast = sys.config.user.fast_ns
+        if sys.futex_waiters(self) == 0:
+            return fast
+        return fast + sys.futex_wake(task, self, WAKE_ALL)
+
+    def wait_with(self, sys: "Kernel", task: "Task", mutex) -> int:
+        """pthread_cond_wait: release ``mutex`` and sleep atomically."""
+        cost = mutex.release(sys, task)
+        return cost + sys.config.user.fast_ns + sys.futex_wait(task, self)
+
+    def broadcast_requeue(self, sys: "Kernel", task: "Task", mutex) -> int:
+        """glibc broadcast: wake one, requeue the rest onto ``mutex``."""
+        self.broadcasts += 1
+        fast = sys.config.user.fast_ns
+        if sys.futex_waiters(self) == 0:
+            return fast
+        # The first woken waiter re-acquires the mutex in userspace; the
+        # requeued ones are granted it by Mutex.release handoffs later.
+        return fast + sys.futex_requeue(task, self, mutex, wake_n=1)
+
+
+class Barrier:
+    """pthread_barrier: the last arriver wakes everyone (the group-wakeup
+    pattern where VB shines, Figure 10)."""
+
+    __slots__ = ("name", "parties", "arrived", "generations")
+
+    def __init__(self, parties: int, name: str = "barrier"):
+        if parties < 1:
+            raise ValueError("barrier needs >= 1 parties")
+        self.name = name
+        self.parties = parties
+        self.arrived = 0
+        self.generations = 0
+
+    def wait(self, sys: "Kernel", task: "Task") -> int:
+        fast = sys.config.user.fast_ns
+        self.arrived += 1
+        if self.arrived >= self.parties:
+            self.arrived = 0
+            self.generations += 1
+            return fast + sys.futex_wake(task, self, WAKE_ALL)
+        return fast + sys.futex_wait(task, self)
+
+
+class Semaphore:
+    """Counting semaphore with direct handoff on post."""
+
+    __slots__ = ("name", "value", "posts", "waits")
+
+    def __init__(self, value: int = 0, name: str = "sem"):
+        if value < 0:
+            raise ValueError("semaphore value must be >= 0")
+        self.name = name
+        self.value = value
+        self.posts = 0
+        self.waits = 0
+
+    def wait(self, sys: "Kernel", task: "Task") -> int:
+        fast = sys.config.user.fast_ns
+        self.waits += 1
+        if self.value > 0:
+            self.value -= 1
+            return fast
+        return fast + sys.futex_wait(task, self)
+
+    def post(self, sys: "Kernel", task: "Task") -> int:
+        fast = sys.config.user.fast_ns
+        self.posts += 1
+        if sys.futex_waiters(self) > 0:
+            # Hand the unit straight to the first waiter.
+            return fast + sys.futex_wake(task, self, 1)
+        self.value += 1
+        return fast

@@ -1,0 +1,85 @@
+"""Reader-writer lock over futex (writer-preferring, like glibc's).
+
+Readers share; writers are exclusive and block new readers while queued
+(no writer starvation).  Two internal futex channels: one for waiting
+readers (woken in bulk — a group wakeup that benefits from VB) and one for
+waiting writers (woken one at a time with direct handoff).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..errors import ProgramError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..kernel.kernel import Kernel
+    from ..kernel.task import Task
+
+WAKE_ALL = 1 << 30
+
+
+class RwLock:
+    def __init__(self, name: str = "rwlock"):
+        self.name = name
+        self.readers: int = 0
+        self.writer: "Task | None" = None
+        # Distinct futex words for the two waiter classes.
+        self._read_key = object()
+        self._write_key = object()
+        self.read_acquisitions = 0
+        self.write_acquisitions = 0
+
+    # -- readers ---------------------------------------------------------
+    def acquire_read(self, sys: "Kernel", task: "Task") -> int:
+        fast = sys.config.user.fast_ns
+        if self.writer is None and sys.futex_waiters(self._write_key) == 0:
+            self.readers += 1
+            self.read_acquisitions += 1
+            return fast
+        return fast + sys.futex_wait(task, self._read_key)
+
+    def release_read(self, sys: "Kernel", task: "Task") -> int:
+        if self.readers <= 0:
+            raise ProgramError(
+                f"{task.name} released read lock {self.name} with no readers"
+            )
+        fast = sys.config.user.fast_ns
+        self.readers -= 1
+        if self.readers == 0:
+            nxt = sys.futex_peek(self._write_key)
+            if nxt is not None:
+                self.writer = nxt
+                self.write_acquisitions += 1
+                return fast + sys.futex_wake(task, self._write_key, 1)
+        return fast
+
+    # -- writers ---------------------------------------------------------
+    def acquire_write(self, sys: "Kernel", task: "Task") -> int:
+        fast = sys.config.user.fast_ns
+        if self.writer is None and self.readers == 0:
+            self.writer = task
+            self.write_acquisitions += 1
+            return fast
+        return fast + sys.futex_wait(task, self._write_key)
+
+    def release_write(self, sys: "Kernel", task: "Task") -> int:
+        if self.writer is not task:
+            raise ProgramError(
+                f"{task.name} released write lock {self.name} held by "
+                f"{self.writer.name if self.writer else None}"
+            )
+        fast = sys.config.user.fast_ns
+        self.writer = None
+        pending_readers = sys.futex_waiters(self._read_key)
+        if pending_readers:
+            # Admit the whole reader cohort at once (group wakeup).
+            self.readers += pending_readers
+            self.read_acquisitions += pending_readers
+            return fast + sys.futex_wake(task, self._read_key, WAKE_ALL)
+        nxt = sys.futex_peek(self._write_key)
+        if nxt is not None:
+            self.writer = nxt
+            self.write_acquisitions += 1
+            return fast + sys.futex_wake(task, self._write_key, 1)
+        return fast

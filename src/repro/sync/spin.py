@@ -1,0 +1,246 @@
+"""Ten spinlock algorithms (the set studied in Figure 13 / SHFLLOCK [21]).
+
+The simulator cares about the properties that interact with scheduling:
+
+* **queue discipline** — FIFO locks (ticket, MCS, CLH, array locks, CNA,
+  AQS, Malthusian, partitioned) hand off to one *specific* successor; if
+  that successor is preempted or descheduled, every other spinner waits
+  behind it — the lock-holder/waiter-preemption cascade BWD breaks.
+  Competitive locks (TTAS, pthread spin) let any *running* spinner grab a
+  released lock.
+* **PAUSE usage** — whether the spin loop executes PAUSE/NOP (visible to
+  PLE in VMs) or is a plain load loop (invisible; Figure 6).
+* **NUMA policy** — CNA/AQS reorder the queue to prefer same-socket
+  successors.
+
+All of them look identical to BWD: a tight, backward-branching,
+miss-free loop.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from ..errors import ProgramError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..hw.topology import Topology
+    from ..kernel.task import Task
+
+
+class SpinLockBase:
+    """Common waiter-queue machinery; subclasses set the discipline."""
+
+    fifo: bool = True
+    uses_pause: bool = True
+    algorithm: str = "base"
+
+    def __init__(self, name: str = "", topology: "Topology | None" = None):
+        self.name = name or self.algorithm
+        self.topology = topology
+        self.holder: "Task | None" = None
+        self.queue: deque["Task"] = deque()
+        self.acquisitions = 0
+        self.handoffs = 0
+
+    # -- helpers --------------------------------------------------------
+    def _node_of(self, task: "Task") -> int:
+        if self.topology is None or task.last_cpu is None:
+            return 0
+        return self.topology.node_of(task.last_cpu)
+
+    # -- kernel interface ----------------------------------------------
+    def try_acquire(self, task: "Task") -> bool:
+        if self.holder is not None:
+            return False
+        if self.queue:
+            if self.fifo:
+                if self.queue[0] is not task:
+                    return False
+                self.queue.popleft()
+            else:
+                try:
+                    self.queue.remove(task)
+                except ValueError:
+                    pass
+        self.holder = task
+        self.acquisitions += 1
+        return True
+
+    def add_waiter(self, task: "Task") -> None:
+        if task not in self.queue:
+            self.queue.append(task)
+
+    def release(self, task: "Task") -> list["Task"]:
+        """Returns the waiters that may now acquire (and should re-check)."""
+        if self.holder is not task:
+            raise ProgramError(
+                f"{task.name} released spinlock {self.name} held by "
+                f"{self.holder.name if self.holder else None}"
+            )
+        self.holder = None
+        self.handoffs += 1
+        self._reorder(task)
+        if not self.queue:
+            return []
+        if self.fifo:
+            return [self.queue[0]]
+        return list(self.queue)
+
+    def _reorder(self, releaser: "Task") -> None:
+        """Hook for NUMA-aware successor selection."""
+
+
+class TtasLock(SpinLockBase):
+    """Test-and-test-and-set: competitive grab, plain load loop."""
+
+    algorithm = "ttas"
+    fifo = False
+    uses_pause = False
+
+
+class PthreadSpinLock(SpinLockBase):
+    """pthread_spin_lock: competitive, spins with NOP/PAUSE (Figure 6)."""
+
+    algorithm = "pthread"
+    fifo = False
+    uses_pause = True
+
+
+class TicketLock(SpinLockBase):
+    """Ticket lock: strict FIFO by ticket number; global spinning."""
+
+    algorithm = "ticket"
+    fifo = True
+    uses_pause = True
+
+
+class PartitionedLock(SpinLockBase):
+    """Partitioned ticket lock: FIFO, spins on a per-partition slot
+    (reduced coherence traffic; same scheduling behavior as ticket)."""
+
+    algorithm = "partitioned"
+    fifo = True
+    uses_pause = True
+
+
+class AlockLs(SpinLockBase):
+    """Anderson array lock with local spinning: FIFO on array slots."""
+
+    algorithm = "alock-ls"
+    fifo = True
+    uses_pause = False
+
+
+class McsLock(SpinLockBase):
+    """MCS queue lock: FIFO, each waiter spins on its own qnode."""
+
+    algorithm = "mcs"
+    fifo = True
+    uses_pause = True
+
+
+class ClhLock(SpinLockBase):
+    """CLH queue lock: FIFO, spins on the predecessor's qnode."""
+
+    algorithm = "clh"
+    fifo = True
+    uses_pause = True
+
+
+class MalthusianLock(SpinLockBase):
+    """Malthusian lock [Dice '17]: culls excess waiters into a passive set
+    to bound concurrency on the lock; the active head is the successor and
+    passive waiters are promoted when the active set drains."""
+
+    algorithm = "malth"
+    fifo = True
+    uses_pause = True
+    active_limit = 2
+
+    def __init__(self, name: str = "", topology: "Topology | None" = None):
+        super().__init__(name, topology)
+        self.passive: deque["Task"] = deque()
+
+    def add_waiter(self, task: "Task") -> None:
+        if task in self.queue or task in self.passive:
+            return
+        if len(self.queue) >= self.active_limit:
+            self.passive.append(task)
+        else:
+            self.queue.append(task)
+
+    def _reorder(self, releaser: "Task") -> None:
+        while len(self.queue) < self.active_limit and self.passive:
+            self.queue.append(self.passive.popleft())
+
+    def try_acquire(self, task: "Task") -> bool:
+        # A passive waiter promoted while we were descheduled may be the
+        # head; passive tasks themselves can never acquire directly.
+        if task in self.passive:
+            return False
+        return super().try_acquire(task)
+
+
+class _NumaAwareLock(SpinLockBase):
+    """FIFO with same-socket preference on handoff."""
+
+    fifo = True
+    uses_pause = True
+
+    def _reorder(self, releaser: "Task") -> None:
+        if len(self.queue) < 2:
+            return
+        node = self._node_of(releaser)
+        same = [t for t in self.queue if self._node_of(t) == node]
+        other = [t for t in self.queue if self._node_of(t) != node]
+        if same:
+            self.queue = deque(same + other)
+
+
+class CnaLock(_NumaAwareLock):
+    """Compact NUMA-aware (CNA) qspinlock: same-socket successors first,
+    remote waiters parked on a secondary queue."""
+
+    algorithm = "cna"
+
+
+class AqsLock(_NumaAwareLock):
+    """AQS: shuffle-based NUMA-aware queue spinlock (SHFLLOCK's spin-only
+    variant)."""
+
+    algorithm = "aqs"
+
+
+ALL_SPINLOCKS: dict[str, type[SpinLockBase]] = {
+    cls.algorithm: cls
+    for cls in (
+        AlockLs,
+        ClhLock,
+        MalthusianLock,
+        McsLock,
+        PartitionedLock,
+        PthreadSpinLock,
+        TicketLock,
+        TtasLock,
+        CnaLock,
+        AqsLock,
+    )
+}
+
+
+def make_spinlock(
+    algorithm: str,
+    name: str = "",
+    topology: "Topology | None" = None,
+) -> SpinLockBase:
+    """Factory over the ten algorithms of Figure 13."""
+    try:
+        cls = ALL_SPINLOCKS[algorithm]
+    except KeyError:
+        raise ProgramError(
+            f"unknown spinlock {algorithm!r}; "
+            f"choose from {sorted(ALL_SPINLOCKS)}"
+        ) from None
+    return cls(name, topology)

@@ -1,0 +1,5 @@
+"""Internal utilities: red-black tree, validation helpers."""
+
+from .rbtree import RedBlackTree
+
+__all__ = ["RedBlackTree"]

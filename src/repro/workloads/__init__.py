@@ -1,0 +1,25 @@
+"""Workload models: suite profiles, micro-benchmarks, memcached."""
+
+from .profiles import (
+    BenchmarkProfile,
+    Group,
+    SyncKind,
+    SUITE,
+    profile,
+    profiles_in_group,
+    fig9_profiles,
+)
+from .synthetic import build_programs, SuiteRun, run_suite_benchmark
+
+__all__ = [
+    "BenchmarkProfile",
+    "Group",
+    "SyncKind",
+    "SUITE",
+    "profile",
+    "profiles_in_group",
+    "fig9_profiles",
+    "build_programs",
+    "SuiteRun",
+    "run_suite_benchmark",
+]

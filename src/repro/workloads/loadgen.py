@@ -1,0 +1,170 @@
+"""Reusable client load generation (the mutilate role).
+
+Server workloads (memcached, web serving) share the same client model:
+a population of connections, each looping *send request → wait for the
+response → think → send again* (closed loop), with exponential think times
+so the offered load is bursty.  :class:`ClosedLoopClients` owns that loop
+and the latency bookkeeping; servers call :meth:`complete` when a request
+finishes and the next one is scheduled automatically.
+
+An open-loop variant (:class:`OpenLoopClients`) fires requests at a fixed
+Poisson rate regardless of completions — the configuration that exposes
+queueing collapse when the server saturates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from ..kernel.kernel import Kernel
+from ..metrics.stats import LatencySummary, summarize_latencies
+
+
+@dataclass(frozen=True)
+class ClientRequest:
+    """What the load generator hands to the server's submit function."""
+
+    conn: int
+    arrival_ns: int
+    payload: Any
+
+
+class _LatencyBook:
+    def __init__(self, kernel: Kernel, warmup_ns: int):
+        self.kernel = kernel
+        self.warmup_ns = warmup_ns
+        self.latencies_us: list[float] = []
+        self.completed = 0
+
+    def record(self, arrival_ns: int) -> None:
+        now = self.kernel.now
+        if now - self.kernel.start_time > self.warmup_ns:
+            self.latencies_us.append((now - arrival_ns) / 1e3)
+            self.completed += 1
+
+    def summary(self) -> LatencySummary:
+        return summarize_latencies(self.latencies_us)
+
+
+class ClosedLoopClients:
+    """``connections`` clients in a think/send loop.
+
+    ``submit(request)`` is the server's ingress (e.g. an epoll post);
+    the server must call :meth:`complete` exactly once per request.
+    ``payload_fn`` draws the request payload (request kind, key, ...).
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        submit: Callable[[ClientRequest], None],
+        connections: int,
+        think_ns: int,
+        payload_fn: Callable[[np.random.Generator], Any] | None = None,
+        warmup_ns: int = 0,
+        rng_name: str = "loadgen",
+    ):
+        if connections < 1:
+            raise ValueError("need at least one connection")
+        if think_ns < 0:
+            raise ValueError("think time must be >= 0")
+        self.kernel = kernel
+        self.submit = submit
+        self.connections = connections
+        self.think_ns = think_ns
+        self.payload_fn = payload_fn or (lambda rng: None)
+        self.rng = kernel.rng_streams.stream(rng_name)
+        self.book = _LatencyBook(kernel, warmup_ns)
+        self.sent = 0
+
+    def start(self) -> None:
+        """Arm every connection with a staggered first request."""
+        for conn in range(self.connections):
+            self._arm(conn, int(self.rng.integers(0, max(1, self.think_ns))))
+
+    def _arm(self, conn: int, delay_ns: int) -> None:
+        def fire():
+            self.sent += 1
+            self.submit(
+                ClientRequest(
+                    conn, self.kernel.now, self.payload_fn(self.rng)
+                )
+            )
+
+        self.kernel.engine.schedule(max(0, delay_ns), fire)
+
+    def complete(self, request: ClientRequest) -> None:
+        """Server-side completion hook: record latency, think, resend."""
+        self.book.record(request.arrival_ns)
+        self._arm(request.conn, int(self.rng.exponential(self.think_ns)))
+
+    # -- results ---------------------------------------------------------
+    @property
+    def completed(self) -> int:
+        return self.book.completed
+
+    def latency_summary(self) -> LatencySummary:
+        return self.book.summary()
+
+    def throughput_ops(self, measured_ns: int) -> float:
+        return self.book.completed / (measured_ns / 1e9)
+
+
+class OpenLoopClients:
+    """Poisson arrivals at ``rate_per_sec``, independent of completions."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        submit: Callable[[ClientRequest], None],
+        rate_per_sec: float,
+        payload_fn: Callable[[np.random.Generator], Any] | None = None,
+        warmup_ns: int = 0,
+        rng_name: str = "loadgen-open",
+    ):
+        if rate_per_sec <= 0:
+            raise ValueError("rate must be positive")
+        self.kernel = kernel
+        self.submit = submit
+        self.mean_gap_ns = 1e9 / rate_per_sec
+        self.payload_fn = payload_fn or (lambda rng: None)
+        self.rng = kernel.rng_streams.stream(rng_name)
+        self.book = _LatencyBook(kernel, warmup_ns)
+        self.sent = 0
+        self._conn = 0
+        self._stopped = False
+
+    def start(self) -> None:
+        self._schedule_next()
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _schedule_next(self) -> None:
+        if self._stopped:
+            return
+        gap = int(self.rng.exponential(self.mean_gap_ns))
+        self.kernel.engine.schedule(max(1, gap), self._fire)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self._conn += 1
+        self.sent += 1
+        self.submit(
+            ClientRequest(self._conn, self.kernel.now, self.payload_fn(self.rng))
+        )
+        self._schedule_next()
+
+    def complete(self, request: ClientRequest) -> None:
+        self.book.record(request.arrival_ns)
+
+    @property
+    def completed(self) -> int:
+        return self.book.completed
+
+    def latency_summary(self) -> LatencySummary:
+        return self.book.summary()

@@ -1,0 +1,163 @@
+"""NPB kernels modeled on the OpenMP runtime layer.
+
+The synthetic suite profiles (`repro.workloads.profiles`) capture each
+benchmark's *measured* synchronization statistics; this module goes one
+level deeper for five NPB kernels and models their actual loop/region
+structure on `repro.prog.openmp` — the way the real (OpenMP) programs
+execute:
+
+* **EP** — embarrassingly parallel random-number batches, one region,
+  followed by a tiny reduction region.
+* **CG** — conjugate-gradient iterations: a sparse mat-vec parallel-for
+  (row costs follow the matrix's nonzero skew) plus two dot-product
+  reductions per iteration — three barriers per iteration.
+* **MG** — a multigrid V-cycle: one region per level, with work shrinking
+  ~8x per level; the coarse levels are pure synchronization.
+* **IS** — bucket sort: local histograms, a shared-array exchange done
+  with atomic adds, and a permutation pass.
+* **FT** — 3-D FFT: three uniform transpose+butterfly sweeps per
+  iteration.
+
+Region structure — not absolute speed — is what determines oversubscription
+behavior, and these models inherit it from the originals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+import numpy as np
+
+from ..config import SimConfig
+from ..errors import ProgramError
+from ..kernel.kernel import Kernel
+from ..metrics.collector import RunStats, collect
+from ..prog.actions import Action, AtomicRmw, SharedCounter
+from ..prog.openmp import LoopSchedule, ParallelRegion, omp_thread
+from ..sync import Barrier
+
+US = 1_000
+
+NPB_OMP_KERNELS = ("ep", "cg", "mg", "is", "ft")
+
+
+@dataclass(frozen=True)
+class NpbOmpConfig:
+    """Problem shape (a scaled-down CLASS A-ish instance by default)."""
+
+    iterations: int = 6
+    base_rows: int = 256  # parallel-for trip count of the main loops
+    row_cost_ns: int = 12 * US
+    mg_levels: int = 5
+    seed: int = 2021
+
+
+def _regions_for(
+    kernel_name: str, cfg: NpbOmpConfig, nthreads: int
+) -> list[ParallelRegion]:
+    rng = np.random.default_rng(cfg.seed)
+    regions: list[ParallelRegion] = []
+
+    def region(costs, schedule, tag):
+        regions.append(
+            ParallelRegion(costs, nthreads, schedule, f"{kernel_name}.{tag}")
+        )
+
+    if kernel_name == "ep":
+        # One big uniform region; trivial reduction at the end.
+        costs = [cfg.row_cost_ns] * (cfg.base_rows * cfg.iterations)
+        region(costs, LoopSchedule("static", chunk=8), "batches")
+        region([2 * US] * nthreads, LoopSchedule("static"), "reduce")
+    elif kernel_name == "cg":
+        # Row costs follow the nonzero distribution (skewed).
+        row_costs = [
+            max(1, int(c))
+            for c in rng.lognormal(
+                np.log(cfg.row_cost_ns), 0.5, size=cfg.base_rows
+            )
+        ]
+        for it in range(cfg.iterations):
+            region(row_costs, LoopSchedule("dynamic", chunk=4), f"spmv{it}")
+            region([3 * US] * cfg.base_rows, LoopSchedule("static", chunk=16),
+                   f"dot1_{it}")
+            region([3 * US] * cfg.base_rows, LoopSchedule("static", chunk=16),
+                   f"dot2_{it}")
+    elif kernel_name == "mg":
+        for it in range(cfg.iterations):
+            n = cfg.base_rows
+            for level in range(cfg.mg_levels):
+                trip = max(2, n >> (3 * level))  # 8x coarsening per level
+                region([cfg.row_cost_ns] * trip,
+                       LoopSchedule("static", chunk=2), f"v{it}l{level}")
+    elif kernel_name == "is":
+        for it in range(cfg.iterations):
+            region([cfg.row_cost_ns] * cfg.base_rows,
+                   LoopSchedule("static", chunk=8), f"hist{it}")
+            # The exchange region is atomic-add dominated (cheap compute).
+            region([2 * US] * cfg.base_rows,
+                   LoopSchedule("dynamic", chunk=8), f"xchg{it}")
+            region([cfg.row_cost_ns // 2] * cfg.base_rows,
+                   LoopSchedule("static", chunk=8), f"perm{it}")
+    elif kernel_name == "ft":
+        for it in range(cfg.iterations):
+            for axis in "xyz":
+                region([cfg.row_cost_ns] * cfg.base_rows,
+                       LoopSchedule("static", chunk=8), f"fft{axis}{it}")
+    else:
+        raise ProgramError(
+            f"unknown NPB kernel {kernel_name!r}; "
+            f"choose from {NPB_OMP_KERNELS}"
+        )
+    return regions
+
+
+def build_npb_omp(
+    kernel_name: str, nthreads: int, cfg: NpbOmpConfig | None = None
+) -> tuple[list[Generator[Action, None, None]], list[ParallelRegion]]:
+    """Team-member generators plus the region objects (for inspection)."""
+    cfg = cfg or NpbOmpConfig()
+    regions = _regions_for(kernel_name, cfg, nthreads)
+    # IS's exchange region hammers a shared bucket array with atomic adds.
+    buckets = SharedCounter(f"{kernel_name}.buckets")
+
+    def team_member(tid: int):
+        for region in regions:
+            if ".xchg" in region.name:
+                # interleave atomic updates with the region's chunks
+                yield AtomicRmw(buckets, count=4)
+            yield from omp_thread(region, tid)
+
+    return [team_member(t) for t in range(nthreads)], regions
+
+
+@dataclass(frozen=True)
+class NpbOmpRun:
+    kernel: str
+    nthreads: int
+    cores: int
+    duration_ns: int
+    regions: int
+    stats: RunStats
+
+
+def run_npb_omp(
+    kernel_name: str,
+    nthreads: int,
+    config: SimConfig,
+    cfg: NpbOmpConfig | None = None,
+) -> NpbOmpRun:
+    """Run one OpenMP-modeled NPB kernel to completion."""
+    sim = Kernel(config)
+    programs, regions = build_npb_omp(kernel_name, nthreads, cfg)
+    for i, gen in enumerate(programs):
+        sim.spawn(gen, name=f"{kernel_name}.omp{i}")
+    sim.run_to_completion()
+    return NpbOmpRun(
+        kernel=kernel_name,
+        nthreads=nthreads,
+        cores=len(sim.online_cpus()),
+        duration_ns=sim.now - sim.start_time,
+        regions=len(regions),
+        stats=collect(sim),
+    )

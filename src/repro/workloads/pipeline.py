@@ -1,0 +1,68 @@
+"""Multi-stage spin pipeline (Section 4.3's micro-benchmark, Figure 13).
+
+Each thread runs pipeline stages guarded by the spinlock under test and
+does local work between stages.  Without oversubscription each thread owns
+a core and spin waits are short.  Oversubscribed, waiters burn whole time
+slices; for FIFO locks the released lock sits idle while its designated
+successor waits behind running spinners — the cascading collapse BWD
+breaks by descheduling detected spinners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import SimConfig
+from ..kernel.kernel import Kernel
+from ..kernel.task import ExecProfile
+from ..metrics.collector import RunStats, collect
+from ..prog.actions import Compute, SpinAcquire, SpinRelease
+from ..sync.spin import make_spinlock
+
+US = 1_000
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    algorithm: str
+    nthreads: int
+    cores: int
+    duration_ns: int
+    stats: RunStats
+
+
+def spin_pipeline_run(
+    config: SimConfig,
+    algorithm: str,
+    nthreads: int = 32,
+    total_stages: int = 960,
+    stage_ns: int = 150 * US,
+    local_ns: int = 60 * US,
+) -> PipelineResult:
+    """Run the pipeline micro-benchmark with one of the ten spinlocks.
+
+    ``total_stages`` is fixed across thread counts (strong scaling); each
+    thread executes ``total_stages / nthreads`` iterations.
+    """
+    kernel = Kernel(config)
+    lock = make_spinlock(algorithm, topology=kernel.topology)
+    profile = ExecProfile(spin_uses_pause=lock.uses_pause)
+    iterations = max(1, total_stages // nthreads)
+
+    def worker(i: int):
+        for _ in range(iterations):
+            yield SpinAcquire(lock)
+            yield Compute(stage_ns)
+            yield SpinRelease(lock)
+            yield Compute(local_ns)
+
+    for i in range(nthreads):
+        kernel.spawn(worker(i), name=f"pipe.{algorithm}.{i}", profile=profile)
+    kernel.run_to_completion()
+    return PipelineResult(
+        algorithm=algorithm,
+        nthreads=nthreads,
+        cores=len(kernel.online_cpus()),
+        duration_ns=kernel.now - kernel.start_time,
+        stats=collect(kernel),
+    )

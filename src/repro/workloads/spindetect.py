@@ -1,0 +1,135 @@
+"""BWD accuracy probes (Tables 2 and 3).
+
+* :func:`true_positive_probe` — two threads on one core: thread #1 holds
+  the spinlock under test and computes indefinitely; thread #2 spins on
+  it.  Every monitoring window in which #2 occupied the core spinning is a
+  "try"; sensitivity is the detected fraction.
+* :func:`false_positive_probe` — a blocking benchmark with no spinning at
+  all runs under BWD; every detection is a false positive.  FP *overhead*
+  compares the runtime against the same run with BWD disabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import SimConfig, optimized_config
+from ..core.bwd import BwdStats
+from ..kernel.kernel import Kernel
+from ..kernel.task import ExecProfile
+from ..prog.actions import Compute, SpinAcquire
+from ..sync.spin import make_spinlock
+from .profiles import BenchmarkProfile
+from .synthetic import run_suite_benchmark
+
+MS = 1_000_000
+
+
+@dataclass(frozen=True)
+class TpResult:
+    algorithm: str
+    tries: int
+    true_positives: int
+
+    @property
+    def sensitivity(self) -> float:
+        return self.true_positives / self.tries if self.tries else 0.0
+
+
+def true_positive_probe(
+    config: SimConfig,
+    algorithm: str,
+    duration_ms: float = 200.0,
+) -> TpResult:
+    """Table 2: sensitivity of BWD for one spinlock algorithm."""
+    if not config.bwd.enabled:
+        raise ValueError("the TP probe needs BWD enabled")
+    kernel = Kernel(config)
+    lock = make_spinlock(algorithm, topology=kernel.topology)
+    profile = ExecProfile(spin_uses_pause=lock.uses_pause)
+    horizon = int(duration_ms * MS)
+
+    def holder():
+        yield SpinAcquire(lock)
+        while True:
+            yield Compute(1 * MS)
+
+    def contender():
+        # Never succeeds: pure spinning whenever it is on the CPU.
+        yield SpinAcquire(lock)
+
+    kernel.spawn(holder(), name="holder", profile=profile)
+    kernel.spawn(contender(), name="spinner", profile=profile)
+    kernel.run_for(horizon)
+    kernel.shutdown()
+    stats: BwdStats = kernel.bwd.stats
+    return TpResult(
+        algorithm=algorithm,
+        tries=stats.spin_windows,
+        true_positives=stats.true_positives,
+    )
+
+
+@dataclass(frozen=True)
+class FpResult:
+    name: str
+    tries: int
+    false_positives: int
+    overhead_pct: float
+    timer_overhead_pct: float
+
+    @property
+    def specificity(self) -> float:
+        if not self.tries:
+            return 1.0
+        return 1.0 - self.false_positives / self.tries
+
+
+def false_positive_probe(
+    prof: BenchmarkProfile,
+    cores: int = 8,
+    nthreads: int = 8,
+    seeds: tuple[int, ...] = (2021, 7),
+    work_scale: float = 1.0,
+) -> FpResult:
+    """Table 3: specificity and FP overhead on a blocking-only benchmark.
+
+    The overhead is a runtime *difference* between two stochastic runs, so
+    it is averaged over a couple of seeds (the paper averages 10 runs).
+    """
+    from ..workloads.synthetic import build_programs  # local to avoid cycle
+
+    tries = 0
+    fps = 0
+    overheads = []
+    timer_pct = 0.0
+    for seed in seeds:
+        base_cfg = optimized_config(cores=cores, seed=seed, vb=False, bwd=False)
+        bwd_cfg = optimized_config(cores=cores, seed=seed, vb=False, bwd=True)
+        base = run_suite_benchmark(
+            prof, nthreads, base_cfg, work_scale=work_scale
+        )
+        kernel = Kernel(bwd_cfg)
+        built = build_programs(
+            prof, nthreads, seed=seed, work_scale=work_scale,
+            topology=kernel.topology,
+        )
+        for name, gen in built.programs:
+            kernel.spawn(gen, name=name, profile=built.exec_profile)
+        kernel.run_to_completion()
+        stats = kernel.bwd.stats
+        duration = kernel.now - kernel.start_time
+        tries += stats.nonspin_windows
+        fps += stats.false_positives
+        overheads.append((duration / base.duration_ns - 1.0) * 100.0)
+        timer_pct = (
+            100.0 * bwd_cfg.bwd.timer_overhead_ns / bwd_cfg.bwd.period_ns
+        )
+    overhead = max(0.0, sum(overheads) / len(overheads))
+    return FpResult(
+        name=prof.name,
+        tries=tries,
+        false_positives=fps,
+        overhead_pct=overhead,
+        timer_overhead_pct=timer_pct,
+    )

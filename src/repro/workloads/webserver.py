@@ -1,0 +1,146 @@
+"""Web-serving workload (CloudSuite-style).
+
+Section 4.2 notes that "experiments with other workloads in the Cloudsuite
+benchmarks, such as web serving, confirmed our findings" (results not shown
+in the paper).  This model fills that gap:
+
+* one shared accept queue (epoll) drained by a pool of worker threads —
+  unlike memcached's per-worker connections, wakeups target *any* idle
+  worker (herd-style);
+* two request classes: **static** (cheap file send) and **dynamic**
+  (template render + database access through a reader-writer lock, with a
+  small write fraction);
+* closed-loop clients with exponential think times.
+
+The oversubscription story matches memcached's: vanilla Linux pays in the
+tail through wake-path costs and migration churn; virtual blocking (which
+covers both the epoll waits and the rwlock's futexes) restores it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+from ..config import SimConfig
+from ..kernel.epoll import EpollInstance
+from ..kernel.kernel import Kernel
+from ..kernel.task import ExecProfile
+from ..metrics.stats import LatencySummary, summarize_latencies
+from ..prog.actions import (
+    Compute,
+    EpollWait,
+    RwAcquireRead,
+    RwAcquireWrite,
+    RwReleaseRead,
+    RwReleaseWrite,
+)
+from ..sync import RwLock
+
+US = 1_000
+MS = 1_000_000
+
+
+@dataclass(frozen=True)
+class WebRequest:
+    conn: int
+    kind: str  # "static" | "dynamic"
+    arrival_ns: int
+
+
+@dataclass(frozen=True)
+class WebServerConfig:
+    workers: int = 8
+    connections: int = 64
+    static_ratio: float = 0.7
+    think_ns: int = 250_000
+    # Service model.
+    parse_ns: int = 2_000
+    static_send_ns: int = 4_000
+    render_ns: int = 15_000
+    db_read_cs_ns: int = 3_000
+    db_write_cs_ns: int = 9_000
+    db_write_fraction: float = 0.1  # of dynamic requests
+
+
+@dataclass
+class WebServerResult:
+    cores: int
+    workers: int
+    completed: int
+    duration_ns: int
+    latencies_us: dict = field(default_factory=dict)  # per request kind
+
+    def throughput_ops(self) -> float:
+        return self.completed / (self.duration_ns / 1e9)
+
+    def latency_summary(self, kind: str = "all") -> LatencySummary:
+        if kind == "all":
+            merged = [v for vals in self.latencies_us.values() for v in vals]
+            return summarize_latencies(merged)
+        return summarize_latencies(self.latencies_us[kind])
+
+
+def webserver_run(
+    sim_config: SimConfig,
+    ws: WebServerConfig,
+    duration_ms: float = 300.0,
+    warmup_ms: float = 40.0,
+) -> WebServerResult:
+    """Drive the web server with closed-loop clients."""
+    kernel = Kernel(sim_config)
+    rng = kernel.rng_streams.stream("webserver")
+    accept_ep = EpollInstance("accept")
+    database = RwLock("database")
+    horizon = int(duration_ms * MS)
+    warmup = int(warmup_ms * MS)
+    latencies: dict[str, list[float]] = {"static": [], "dynamic": []}
+    completed = [0]
+
+    def next_request(conn: int, delay_ns: int) -> None:
+        def fire():
+            kind = "static" if rng.random() < ws.static_ratio else "dynamic"
+            kernel.epoll_post(
+                accept_ep, WebRequest(conn, kind, kernel.now)
+            )
+
+        kernel.engine.schedule(max(0, delay_ns), fire)
+
+    def worker(i: int):
+        while True:
+            batch = yield EpollWait(accept_ep)
+            for req in batch:
+                yield Compute(ws.parse_ns)
+                if req.kind == "static":
+                    yield Compute(ws.static_send_ns)
+                else:
+                    yield Compute(ws.render_ns)
+                    if rng.random() < ws.db_write_fraction:
+                        yield RwAcquireWrite(database)
+                        yield Compute(ws.db_write_cs_ns)
+                        yield RwReleaseWrite(database)
+                    else:
+                        yield RwAcquireRead(database)
+                        yield Compute(ws.db_read_cs_ns)
+                        yield RwReleaseRead(database)
+                now = kernel.now
+                if now - kernel.start_time > warmup:
+                    latencies[req.kind].append((now - req.arrival_ns) / 1e3)
+                    completed[0] += 1
+                next_request(req.conn, int(rng.exponential(ws.think_ns)))
+
+    profile = ExecProfile(migration_weight=4.0)
+    for i in range(ws.workers):
+        kernel.spawn(worker(i), name=f"web.worker{i}", profile=profile)
+    for conn in range(ws.connections):
+        next_request(conn, int(rng.integers(0, ws.think_ns)))
+
+    kernel.run_for(horizon)
+    kernel.shutdown()
+    return WebServerResult(
+        cores=len(kernel.online_cpus()),
+        workers=ws.workers,
+        completed=completed[0],
+        duration_ns=horizon - warmup,
+        latencies_us=latencies,
+    )

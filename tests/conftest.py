@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    HardwareConfig,
+    SimConfig,
+    optimized_config,
+    vanilla_config,
+)
+
+
+@pytest.fixture
+def small_hw() -> HardwareConfig:
+    """A small machine so topology-sensitive tests stay readable."""
+    return HardwareConfig(sockets=2, cores_per_socket=4, smt=1)
+
+
+@pytest.fixture
+def vanilla8() -> SimConfig:
+    return vanilla_config(cores=8, seed=7)
+
+
+@pytest.fixture
+def vanilla1() -> SimConfig:
+    return vanilla_config(cores=1, seed=7)
+
+
+@pytest.fixture
+def vb8() -> SimConfig:
+    return optimized_config(cores=8, seed=7, bwd=False)
+
+
+@pytest.fixture
+def bwd8() -> SimConfig:
+    return optimized_config(cores=8, seed=7, vb=False, bwd=True)
+
+
+@pytest.fixture
+def vb1() -> SimConfig:
+    return optimized_config(cores=1, seed=7, bwd=False)

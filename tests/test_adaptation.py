@@ -1,0 +1,66 @@
+"""Live runtime CPU adaptation (Figure 11 methodology)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.runners.adaptation import runtime_adaptation
+
+
+def test_oversubscribed_threads_absorb_added_cores():
+    run = runtime_adaptation(
+        "32T(optimized)", core_schedule=[8, 2, 32], window_ms=20
+    )
+    by_cores = {w.cores: w for w in run.windows}
+    # Throughput tracks the allocation (the 32-core gain is bounded by the
+    # serial 31-waiter wakeup per barrier, as in Figure 10(b)).
+    assert by_cores[32].phases_completed > 1.3 * by_cores[8].phases_completed
+    assert by_cores[8].phases_completed > 2.5 * by_cores[2].phases_completed
+    # The oversubscribed team keeps every allocation busy.
+    for w in run.windows:
+        assert w.utilization_pct > 75.0, w
+
+
+def test_eight_threads_cannot_use_more_cores():
+    run = runtime_adaptation(
+        "8T(vanilla)", core_schedule=[8, 32], window_ms=20
+    )
+    by_cores = {w.cores: w for w in run.windows}
+    # 8 threads on 32 cores: no speedup beyond 8 cores' worth.
+    assert (
+        by_cores[32].phases_completed
+        < 1.3 * by_cores[8].phases_completed
+    )
+    assert by_cores[32].utilization_pct < 40.0
+
+
+def test_vanilla_vs_optimized_oversubscribed():
+    van = runtime_adaptation(
+        "32T(vanilla)", core_schedule=[8, 8], window_ms=25
+    )
+    opt = runtime_adaptation(
+        "32T(optimized)", core_schedule=[8, 8], window_ms=25
+    )
+    assert sum(w.phases_completed for w in opt.windows) >= sum(
+        w.phases_completed for w in van.windows
+    )
+
+
+def test_pinned_run_crashes_on_shrink():
+    with pytest.raises(SimulationError):
+        runtime_adaptation(
+            "32T(pinned)", core_schedule=[8, 4], window_ms=10
+        )
+
+
+def test_pinned_run_survives_growth_but_cannot_use_it():
+    run = runtime_adaptation(
+        "32T(pinned)", core_schedule=[8, 32], window_ms=20
+    )
+    by_cores = {w.cores: w for w in run.windows}
+    # Pinned threads stay on their 8 startup CPUs.
+    assert (
+        by_cores[32].phases_completed
+        < 1.3 * by_cores[8].phases_completed
+    )

@@ -1,0 +1,174 @@
+"""Exact cache / TLB simulators and the stream prefetcher."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.hw.cache import CacheHierarchy, SetAssociativeCache
+from repro.hw.prefetcher import StreamPrefetcher, effective_coverage
+from repro.hw.tlb import TwoLevelTlb
+
+
+def make_cache(size=1024, assoc=2, line=64):
+    return SetAssociativeCache(size, assoc, line)
+
+
+def test_cache_geometry_validation():
+    with pytest.raises(ConfigError):
+        SetAssociativeCache(1000, 3, 64)  # not a multiple
+    with pytest.raises(ConfigError):
+        SetAssociativeCache(0, 1, 64)
+
+
+def test_cold_miss_then_hit():
+    c = make_cache()
+    assert c.access(0) is False
+    assert c.access(8) is True  # same line
+    assert c.access(64) is False  # next line
+    assert c.hits == 1 and c.misses == 2
+
+
+def test_lru_eviction_within_set():
+    c = SetAssociativeCache(2 * 64, assoc=2, line_bytes=64)  # one set, 2 ways
+    c.access(0)
+    c.access(64)
+    c.access(0)  # touch line 0: line 64 is now LRU
+    c.access(128)  # evicts 64
+    assert c.contains(0)
+    assert not c.contains(64)
+    assert c.evictions == 1
+
+
+def test_insert_is_silent_fill():
+    c = make_cache()
+    c.insert(0)
+    assert c.accesses == 0
+    assert c.access(0) is True
+
+
+def test_flush():
+    c = make_cache()
+    c.access(0)
+    c.flush()
+    assert not c.contains(0)
+    assert c.resident_lines() == 0
+
+
+def test_miss_rate_over_capacity():
+    c = SetAssociativeCache(1024, 2, 64)  # 16 lines
+    # Stream 64 distinct lines twice: reuse distance > capacity -> ~all miss.
+    for _ in range(2):
+        for i in range(64):
+            c.access(i * 64)
+    assert c.miss_rate() > 0.9
+
+
+def test_hierarchy_levels():
+    h = CacheHierarchy(
+        SetAssociativeCache(128, 2, 64),
+        SetAssociativeCache(512, 2, 64),
+        SetAssociativeCache(4096, 4, 64),
+    )
+    assert h.access(0) == "mem"
+    assert h.access(0) == "l1"
+    # Evict from L1 by touching two more lines mapping to its single... use
+    # distinct lines to push line 0 out of the tiny L1.
+    for i in range(1, 4):
+        h.access(i * 64)
+    level = h.access(0)
+    assert level in ("l1", "l2")  # still near the top of the hierarchy
+    trace = np.arange(0, 64 * 64, 64)
+    counts = h.run_trace(trace)
+    assert sum(counts.values()) == len(trace)
+
+
+def test_tlb_levels_and_reach():
+    t = TwoLevelTlb(l1_entries=2, l2_entries=4, page_bytes=4096)
+    assert t.reach_l1() == 8192
+    assert t.access(0) == "walk"
+    assert t.access(100) == "l1"  # same page
+    t.access(4096)
+    t.access(8192)  # evicts page 0 from L1
+    assert t.access(0) == "l2"
+    assert t.accesses == 5
+
+
+def test_tlb_flush():
+    t = TwoLevelTlb(4, 8)
+    t.access(0)
+    t.flush()
+    assert t.access(0) == "walk"
+
+
+def test_tlb_capacity_positive():
+    with pytest.raises(ConfigError):
+        TwoLevelTlb(0, 4)
+
+
+def test_prefetcher_covers_sequential_stream():
+    c = make_cache(size=64 * 64, assoc=4)
+    p = StreamPrefetcher(c, train_length=2, degree=2)
+    misses = 0
+    for i in range(32):
+        addr = i * 64
+        if not c.access(addr):
+            misses += 1
+        p.observe(addr)
+    # After training, prefetches hide most fills.
+    assert misses < 8
+    assert p.issued > 0
+
+
+def test_prefetcher_reset_on_context_switch():
+    c = make_cache(size=64 * 64, assoc=4)
+    p = StreamPrefetcher(c, train_length=3, degree=1)
+    for i in range(8):
+        p.observe(i * 64)
+    issued_before = p.issued
+    p.reset()
+    p.observe(0)  # restart: no stream detected yet
+    assert p.issued == issued_before
+
+
+def test_prefetcher_ignores_random_stream():
+    c = make_cache(size=64 * 64, assoc=4)
+    p = StreamPrefetcher(c, train_length=3, degree=2)
+    rng = np.random.default_rng(0)
+    for a in rng.integers(0, 10**6, 64):
+        p.observe(int(a) * 64)
+    assert p.issued == 0
+
+
+def test_effective_coverage_single_thread_unchanged():
+    assert effective_coverage(0.85, 1, 1000) == pytest.approx(0.85)
+
+
+def test_effective_coverage_degrades_with_threads():
+    one = effective_coverage(0.85, 1, 10_000)
+    two = effective_coverage(0.85, 2, 10_000)
+    eight = effective_coverage(0.85, 8, 10_000)
+    assert one > two > eight >= 0.0
+
+
+def test_effective_coverage_short_epochs_lose_training():
+    long_epoch = effective_coverage(0.85, 2, 100_000)
+    short_epoch = effective_coverage(0.85, 2, 10)
+    assert short_epoch < long_epoch
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=2**20), min_size=1, max_size=200)
+)
+def test_property_cache_counters_consistent(addrs):
+    c = SetAssociativeCache(2048, 4, 64)
+    for a in addrs:
+        c.access(a)
+    assert c.hits + c.misses == len(addrs)
+    assert c.resident_lines() <= 2048 // 64
+    # Re-access of the most recent address is always a hit (MRU).
+    assert c.access(addrs[-1]) is True

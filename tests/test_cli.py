@@ -1,0 +1,65 @@
+"""CLI: argument parsing and end-to-end command runs (scaled down)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv) -> str:
+    assert main(list(argv)) == 0
+    return capsys.readouterr().out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_list(capsys):
+    out = run_cli(capsys, "list")
+    assert "streamcluster" in out
+    assert "suffer-blocking" in out
+    assert out.count("\n") >= 33  # 32 benchmarks + header
+
+
+def test_suite_vanilla_and_optimized(capsys):
+    out = run_cli(
+        capsys, "suite", "is", "--threads", "16", "--cores", "4",
+        "--scale", "0.2",
+    )
+    assert "is: 16 threads on 4 cores (vanilla kernel)" in out
+    assert "execution time" in out
+    out = run_cli(
+        capsys, "suite", "is", "--threads", "16", "--cores", "4",
+        "--scale", "0.2", "--optimized",
+    )
+    assert "(optimized kernel)" in out
+
+
+def test_suite_rejects_unknown_benchmark():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["suite", "doom3"])
+
+
+def test_fig04(capsys):
+    out = run_cli(capsys, "fig04")
+    assert "rnd-r" in out and "128MB" in out
+
+
+def test_fig02(capsys):
+    out = run_cli(capsys, "fig02")
+    assert "per-switch cost" in out
+
+
+def test_fig01_subset_scaled(capsys):
+    out = run_cli(capsys, "fig01", "--scale", "0.15")
+    assert "Figure 1" in out
+    assert "lu" in out
+
+
+def test_table1_alias_exists():
+    ap = build_parser()
+    args = ap.parse_args(["table1", "--scale", "0.1"])
+    assert args.fn.__name__ == "cmd_fig09"

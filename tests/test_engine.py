@@ -1,0 +1,124 @@
+"""Discrete-event engine tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+
+
+def test_events_fire_in_time_order():
+    e = Engine()
+    order = []
+    e.schedule_at(30, order.append, "c")
+    e.schedule_at(10, order.append, "a")
+    e.schedule_at(20, order.append, "b")
+    e.run()
+    assert order == ["a", "b", "c"]
+    assert e.now == 30
+
+
+def test_simultaneous_events_fifo():
+    e = Engine()
+    order = []
+    for i in range(5):
+        e.schedule_at(100, order.append, i)
+    e.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_schedule_relative_delay():
+    e = Engine()
+    seen = []
+    e.schedule(5, lambda: e.schedule(7, lambda: seen.append(e.now)))
+    e.run()
+    assert seen == [12]
+
+
+def test_cannot_schedule_in_the_past():
+    e = Engine()
+    e.schedule_at(10, lambda: None)
+    e.run()
+    with pytest.raises(SimulationError):
+        e.schedule_at(5, lambda: None)
+    with pytest.raises(SimulationError):
+        e.schedule(-1, lambda: None)
+
+
+def test_cancellation():
+    e = Engine()
+    fired = []
+    h = e.schedule_at(10, fired.append, "x")
+    e.schedule_at(20, fired.append, "y")
+    h.cancel()
+    e.run()
+    assert fired == ["y"]
+
+
+def test_cancelled_events_not_counted_pending():
+    e = Engine()
+    h1 = e.schedule_at(10, lambda: None)
+    e.schedule_at(20, lambda: None)
+    h1.cancel()
+    assert e.pending == 1
+
+
+def test_run_until_stops_clock_at_bound():
+    e = Engine()
+    fired = []
+    e.schedule_at(10, fired.append, 1)
+    e.schedule_at(100, fired.append, 2)
+    e.run(until=50)
+    assert fired == [1]
+    assert e.now == 50
+    e.run()
+    assert fired == [1, 2]
+
+
+def test_stop_when_predicate():
+    e = Engine()
+    count = [0]
+
+    def bump():
+        count[0] += 1
+        e.schedule(1, bump)
+
+    e.schedule(1, bump)
+    e.run(stop_when=lambda: count[0] >= 5)
+    assert count[0] == 5
+
+
+def test_max_events_guard():
+    e = Engine()
+
+    def forever():
+        e.schedule(1, forever)
+
+    e.schedule(1, forever)
+    with pytest.raises(SimulationError):
+        e.run(max_events=100)
+
+
+def test_step_returns_false_when_drained():
+    e = Engine()
+    assert e.step() is False
+    e.schedule_at(1, lambda: None)
+    assert e.step() is True
+    assert e.step() is False
+
+
+def test_peek_time_skips_cancelled():
+    e = Engine()
+    h = e.schedule_at(5, lambda: None)
+    e.schedule_at(9, lambda: None)
+    h.cancel()
+    assert e.peek_time() == 9
+
+
+def test_events_run_counter():
+    e = Engine()
+    for i in range(7):
+        e.schedule_at(i + 1, lambda: None)
+    e.run()
+    assert e.events_run == 7

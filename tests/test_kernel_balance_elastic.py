@@ -1,0 +1,159 @@
+"""Load balancing, migration accounting, and CPU elasticity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import optimized_config, vanilla_config
+from repro.errors import SimulationError
+from repro.kernel import Kernel
+from repro.kernel.task import TaskState
+from repro.prog.actions import BarrierWait, Compute
+from repro.sync import Barrier
+
+MS = 1_000_000
+US = 1_000
+
+
+def compute_prog(total_ns):
+    yield Compute(total_ns)
+
+
+def test_periodic_balance_spreads_uneven_spawn():
+    """All tasks pinned-free but spawned after the fact onto one queue get
+    spread across CPUs by the balancer."""
+    k = Kernel(vanilla_config(cores=4, seed=1))
+    # Defeat round-robin spawn: pin spawn placement by spawning while
+    # other CPUs idle, then rely on balancing.  Simplest: spawn 8 tasks;
+    # round-robin gives 2 per CPU; then one CPU's tasks finish early.
+    long_tasks = [k.spawn(compute_prog(30 * MS), name=f"l{i}") for i in range(8)]
+    k.run_for(5 * MS)
+    loads = [k.cpus[c].rq.nr_running for c in k.online_cpus()]
+    assert max(loads) - min(loads) <= 1
+
+
+def _imbalanced_spawn(k):
+    """Round-robin gives cpu0 three long tasks and cpu1 two short ones;
+    when the shorts exit, cpu1 pulls waiting work."""
+    longs = [20 * MS, 1 * MS, 20 * MS, 1 * MS, 20 * MS]
+    return [k.spawn(compute_prog(d), name=f"t{i}") for i, d in enumerate(longs)]
+
+
+def test_idle_pull_steals_waiting_task():
+    k = Kernel(vanilla_config(cores=2, seed=1))
+    _imbalanced_spawn(k)
+    k.run_to_completion()
+    assert k.migrations_in_node + k.migrations_cross_node >= 1
+    # Work-conserving: 62 ms of work on 2 CPUs finishes close to 31 ms.
+    assert k.now < 45 * MS
+
+
+def test_cache_hot_tasks_not_stolen_immediately():
+    """A task runnable for less than the cold delay is not migratable."""
+    k = Kernel(vanilla_config(cores=2, seed=1))
+    t = k.spawn(compute_prog(10 * MS), name="a")
+    t2 = k.spawn(compute_prog(10 * MS), name="b")
+    cands = k._migratable([t, t2])
+    assert cands == []  # both just became runnable
+
+
+def test_migration_penalty_and_counters():
+    k = Kernel(vanilla_config(cores=2, seed=1))
+    _imbalanced_spawn(k)
+    k.run_to_completion()
+    total = k.migrations_in_node + k.migrations_cross_node
+    per_task = sum(t.stats.total_migrations for t in k.tasks)
+    assert total == per_task
+    assert sum(c.stall_ns for c in k.cpus) > 0
+
+
+def test_cross_node_migration_classified(small_hw):
+    """CPUs 0 and 1 are on different sockets under the spread policy."""
+    from repro.config import SimConfig
+
+    cfg = SimConfig(hardware=small_hw, online_cpus=2, seed=1)
+    k = Kernel(cfg)
+    assert not k.topology.same_node(0, 1)
+    _imbalanced_spawn(k)
+    k.run_to_completion()
+    assert k.migrations_cross_node >= 1
+
+
+def test_grow_online_cpus():
+    k = Kernel(vanilla_config(cores=2, seed=1))
+    for i in range(8):
+        k.spawn(compute_prog(10 * MS), name=f"t{i}")
+    k.run_for(2 * MS)
+    k.set_online_cpus(8)
+    assert len(k.online_cpus()) == 8
+    k.run_to_completion()
+    # 80 ms of work: on 2 CPUs it takes 40 ms; growing to 8 early cuts it.
+    assert k.now < 25 * MS
+
+
+def test_shrink_online_cpus_migrates_tasks():
+    k = Kernel(vanilla_config(cores=8, seed=1))
+    tasks = [k.spawn(compute_prog(10 * MS), name=f"t{i}") for i in range(8)]
+    k.run_for(1 * MS)
+    k.set_online_cpus(2)
+    assert len(k.online_cpus()) == 2
+    k.run_to_completion()
+    assert all(t.state is TaskState.EXITED for t in tasks)
+    assert all(t.last_cpu in (0, 1) for t in tasks)
+
+
+def test_shrink_with_pinned_task_crashes():
+    """The paper: pinned programs crash when the CPU count decreases."""
+    k = Kernel(vanilla_config(cores=8, seed=1))
+    k.spawn(compute_prog(50 * MS), name="p", pinned_cpu=7)
+    k.run_for(1 * MS)
+    with pytest.raises(SimulationError):
+        k.set_online_cpus(4)
+
+
+def test_shrink_migrates_vblocked_tasks():
+    cfg = optimized_config(cores=4, seed=1, bwd=False)
+    k = Kernel(cfg)
+    bar = Barrier(9)  # never completed by the 8 workers alone
+
+    def worker(i):
+        yield Compute(100 * US)
+        yield BarrierWait(bar)
+
+    tasks = [k.spawn(worker(i), name=f"w{i}") for i in range(8)]
+    k.run_for(5 * MS)
+    assert any(t.state is TaskState.VBLOCKED for t in tasks)
+    k.set_online_cpus(2)
+
+    def releaser():
+        yield BarrierWait(bar)
+
+    k.spawn(releaser(), name="rel")
+    k.run_to_completion()
+    assert all(t.state is TaskState.EXITED for t in tasks)
+
+
+def test_set_online_bounds():
+    k = Kernel(vanilla_config(cores=4, seed=1))
+    with pytest.raises(SimulationError):
+        k.set_online_cpus(0)
+    with pytest.raises(SimulationError):
+        k.set_online_cpus(10**6)
+
+
+def test_oversubscribed_blocking_migrates_more_than_baseline():
+    """Table 1's direction: 32T vanilla migrates far more than 8T."""
+    from repro.workloads import profile, run_suite_benchmark
+
+    prof = profile("streamcluster")
+    base = run_suite_benchmark(
+        prof, 8, vanilla_config(cores=8, seed=4), work_scale=0.5
+    )
+    over = run_suite_benchmark(
+        prof, 32, vanilla_config(cores=8, seed=4), work_scale=0.5
+    )
+    opt = run_suite_benchmark(
+        prof, 32, optimized_config(cores=8, seed=4, bwd=False), work_scale=0.5
+    )
+    assert over.stats.total_migrations > 5 * max(1, base.stats.total_migrations)
+    assert opt.stats.total_migrations <= base.stats.total_migrations + 5

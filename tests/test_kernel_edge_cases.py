@@ -1,0 +1,214 @@
+"""Edge cases across the kernel and primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import optimized_config, vanilla_config
+from repro.kernel import Kernel
+from repro.kernel.task import TaskState
+from repro.prog.actions import (
+    BarrierWait,
+    Compute,
+    CondSignal,
+    EpollWait,
+    SemPost,
+    SemWait,
+    SleepNs,
+    Yield,
+)
+from repro.kernel.epoll import EpollInstance
+from repro.sync import Barrier, CondVar, Semaphore
+
+MS = 1_000_000
+US = 1_000
+
+
+def test_zero_duration_compute(vanilla1):
+    k = Kernel(vanilla1)
+    done = []
+
+    def w():
+        yield Compute(0)
+        yield Compute(0)
+        done.append(True)
+
+    k.spawn(w(), name="w")
+    k.run_to_completion()
+    assert done
+
+
+def test_negative_compute_rejected():
+    with pytest.raises(ValueError):
+        Compute(-1)
+
+
+def test_empty_program_exits_immediately(vanilla1):
+    k = Kernel(vanilla1)
+
+    def w():
+        return
+        yield  # pragma: no cover
+
+    t = k.spawn(w(), name="w")
+    k.run_to_completion()
+    assert t.state is TaskState.EXITED
+    assert t.exited_at == 0
+
+
+def test_run_with_no_tasks(vanilla1):
+    k = Kernel(vanilla1)
+    k.run_for(10 * MS)
+    assert k.now == 10 * MS
+    k.run_to_completion()  # no live tasks: returns immediately
+
+
+def test_barrier_single_party_never_blocks(vanilla1):
+    k = Kernel(vanilla1)
+    bar = Barrier(1)
+
+    def w():
+        for _ in range(5):
+            yield Compute(10 * US)
+            yield BarrierWait(bar)
+
+    k.spawn(w(), name="w")
+    k.run_to_completion()
+    assert bar.generations == 5
+
+
+def test_barrier_invalid_parties():
+    with pytest.raises(ValueError):
+        Barrier(0)
+
+
+def test_semaphore_initial_value(vanilla1):
+    k = Kernel(vanilla1)
+    sem = Semaphore(3)
+    got = []
+
+    def w(i):
+        yield SemWait(sem)
+        got.append(i)
+
+    for i in range(3):
+        k.spawn(w(i), name=f"w{i}")
+    k.run_to_completion()  # no posts needed: initial units suffice
+    assert sorted(got) == [0, 1, 2]
+    assert sem.value == 0
+
+
+def test_semaphore_negative_initial_rejected():
+    with pytest.raises(ValueError):
+        Semaphore(-1)
+
+
+def test_cond_signal_without_waiters_is_noop(vanilla1):
+    k = Kernel(vanilla1)
+    cv = CondVar()
+
+    def w():
+        yield CondSignal(cv)
+        yield Compute(10 * US)
+
+    k.spawn(w(), name="w")
+    k.run_to_completion()
+    assert cv.signals == 1
+
+
+def test_epoll_payload_roundtrip(vanilla1):
+    k = Kernel(vanilla1)
+    ep = EpollInstance("ep")
+    got = []
+
+    def w():
+        batch = yield EpollWait(ep)
+        got.extend(batch)
+
+    k.spawn(w(), name="w")
+    k.engine.schedule(1 * MS, lambda: k.epoll_post(ep, {"id": 42}))
+    k.run_to_completion()
+    assert got == [{"id": 42}]
+
+
+def test_sleep_zero_wakes_promptly(vanilla1):
+    k = Kernel(vanilla1)
+    t_done = []
+
+    def w():
+        yield SleepNs(0)
+        t_done.append(k.now)
+
+    k.spawn(w(), name="w")
+    k.run_to_completion()
+    assert t_done and t_done[0] < 100 * US
+
+
+def test_many_tasks_one_core_all_finish():
+    k = Kernel(vanilla_config(cores=1, seed=1))
+    n = 64
+
+    def w(i):
+        yield Compute(200 * US)
+        yield Yield()
+        yield Compute(100 * US)
+
+    tasks = [k.spawn(w(i), name=f"t{i}") for i in range(n)]
+    k.run_to_completion()
+    assert all(t.state is TaskState.EXITED for t in tasks)
+    assert k.now >= n * 300 * US
+
+
+def test_vb_kernel_with_zero_waiter_wake(vb1):
+    """futex_wake on an empty bucket is harmless under VB."""
+    k = Kernel(vb1)
+    sem = Semaphore(0)
+
+    def poster():
+        yield SemPost(sem)
+        yield SemPost(sem)
+
+    def waiter():
+        yield SemWait(sem)
+        yield SemWait(sem)
+
+    k.spawn(poster(), name="p")
+    k.spawn(waiter(), name="w")
+    k.run_to_completion()
+    assert sem.value == 0
+
+
+def test_engine_drains_after_shutdown(vb1):
+    cfg = optimized_config(cores=2, seed=1, bwd=True)
+    k = Kernel(cfg)
+
+    def w():
+        yield Compute(1 * MS)
+
+    k.spawn(w(), name="w")
+    k.run_to_completion()
+    # After shutdown, only cancelled timer shells remain; the engine can
+    # run to empty without new periodic work.
+    k.engine.run(max_events=10_000)
+    assert k.engine.peek_time() is None
+
+
+def test_task_repr_and_tid_uniqueness(vanilla1):
+    k = Kernel(vanilla1)
+
+    def empty():
+        return
+        yield  # pragma: no cover
+
+    a = k.spawn(empty(), name="a")
+    b = k.spawn(empty(), name="b")
+    assert a.tid != b.tid
+    assert "a" in repr(a)
+
+
+def test_spawn_rejects_non_generator(vanilla1):
+    from repro.errors import ProgramError
+
+    k = Kernel(vanilla1)
+    with pytest.raises(ProgramError):
+        k.spawn(iter(()), name="not-a-generator")

@@ -1,0 +1,213 @@
+"""Miscellaneous kernel paths: irq charging, PLE integration, VB
+all-blocked polling, memory-model actions, utilization accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ple_config, optimized_config, vanilla_config
+from repro.hw.memmodel import AccessPattern
+from repro.kernel import Kernel
+from repro.kernel.task import ExecProfile, TaskState
+from repro.prog.actions import (
+    AtomicRmw,
+    Compute,
+    MemTraverse,
+    SemPost,
+    SemWait,
+    SharedCounter,
+    SpinFlag,
+    SpinUntilFlag,
+    FlagSet,
+)
+from repro.sync import Semaphore
+
+MS = 1_000_000
+US = 1_000
+MB = 1024 * 1024
+
+
+def test_charge_irq_extends_runtime(vanilla1):
+    k = Kernel(vanilla1)
+
+    def w():
+        yield Compute(1 * MS)
+
+    k.spawn(w(), name="w")
+    k.run_for(100 * US)
+    k.charge_irq(0, 50 * US)
+    k.run_to_completion()
+    assert k.now >= 1 * MS + 50 * US
+    assert k.cpus[0].irq_ns == 50 * US
+
+
+def test_mem_traverse_duration_from_model(vanilla1):
+    k = Kernel(vanilla1)
+
+    def w():
+        yield MemTraverse(AccessPattern.SEQ_R, 1 * MB)
+
+    k.spawn(w(), name="w")
+    k.run_to_completion()
+    expected = k.memmodel.epoch(AccessPattern.SEQ_R, 1 * MB).time_ns
+    assert k.now == pytest.approx(expected, rel=0.05)
+
+
+def test_mem_traverse_random_slower_than_sequential(vanilla1):
+    def run(pattern):
+        k = Kernel(vanilla1)
+
+        def w():
+            yield MemTraverse(pattern, 8 * MB, epochs=2)
+
+        k.spawn(w(), name="w")
+        k.run_to_completion()
+        return k.now
+
+    assert run(AccessPattern.RND_R) > run(AccessPattern.SEQ_R)
+
+
+def test_atomic_rmw_remote_cacheline_costs_more():
+    cfg = vanilla_config(cores=2, seed=1)
+    k = Kernel(cfg)
+    ctr = SharedCounter()
+    done = []
+
+    def w(i):
+        for _ in range(100):
+            yield AtomicRmw(ctr)
+            yield Compute(1 * US)
+        done.append(i)
+
+    k.spawn(w(0), name="a", pinned_cpu=0)
+    k.spawn(w(1), name="b", pinned_cpu=1)
+    k.run_to_completion()
+    assert ctr.value == 200
+    assert ctr.updates == 200
+    assert len(done) == 2
+
+
+def test_ple_exit_counter_increments():
+    k = Kernel(ple_config(cores=1, seed=1))
+    flag = SpinFlag("f")
+    profile = ExecProfile(spin_uses_pause=True)
+
+    def spinner():
+        yield SpinUntilFlag(flag, 1)
+
+    def setter():
+        yield Compute(2 * MS)
+        yield FlagSet(flag, 1)
+
+    k.spawn(spinner(), name="s", profile=profile)
+    k.spawn(setter(), name="set", profile=profile)
+    k.run_to_completion()
+    assert k.ple is not None
+    assert k.ple.exits > 0
+
+
+def test_ple_ignores_pauseless_spins():
+    k = Kernel(ple_config(cores=1, seed=1))
+    flag = SpinFlag("f", uses_pause=False)
+    profile = ExecProfile(spin_uses_pause=False)
+
+    def spinner():
+        yield SpinUntilFlag(flag, 1)
+
+    def setter():
+        yield Compute(2 * MS)
+        yield FlagSet(flag, 1)
+
+    k.spawn(spinner(), name="s", profile=profile)
+    k.spawn(setter(), name="set", profile=profile)
+    k.run_to_completion()
+    assert k.ple.exits == 0
+
+
+def test_vb_all_blocked_core_polls_and_wakes(vb1):
+    """When every task on the core is virtually blocked, the wake path
+    charges the poll latency and the run completes."""
+    k = Kernel(vb1)
+    sem = Semaphore(0)
+    woken = []
+
+    def waiter(i):
+        yield SemWait(sem)
+        woken.append(i)
+
+    for i in range(3):
+        k.spawn(waiter(i), name=f"w{i}")
+    k.run_for(1 * MS)
+    # All three parked VB; the core is poll-idle.
+    assert all(t.state is TaskState.VBLOCKED for t in k.tasks)
+
+    def poster():
+        for _ in range(3):
+            yield SemPost(sem)
+
+    k.spawn(poster(), name="p")
+    k.run_to_completion()
+    assert sorted(woken) == [0, 1, 2]
+    assert k.vb_policy.stats.all_blocked_polls >= 1
+
+
+def test_utilization_bounded_by_online_cpus(vanilla8):
+    k = Kernel(vanilla8)
+
+    def w():
+        yield Compute(5 * MS)
+
+    for i in range(16):
+        k.spawn(w(), name=f"w{i}")
+    k.run_to_completion()
+    assert 0 < k.cpu_utilization_percent() <= 801.0
+
+
+def test_run_for_advances_exactly(vanilla1):
+    k = Kernel(vanilla1)
+
+    def w():
+        while True:
+            yield Compute(1 * MS)
+
+    k.spawn(w(), name="w")
+    k.run_for(10 * MS)
+    assert k.now == 10 * MS
+
+
+def test_futex_peek_and_requeue_front(vanilla1):
+    k = Kernel(vanilla1)
+    sem = Semaphore(0)
+
+    def waiter(i):
+        yield SemWait(sem)
+
+    tasks = [k.spawn(waiter(i), name=f"w{i}") for i in range(3)]
+    k.run_for(1 * MS)
+    assert k.futex_peek(sem) is tasks[0]
+    assert k.futex_requeue_front(sem, tasks[2])
+    assert k.futex_peek(sem) is tasks[2]
+    assert not k.futex_requeue_front(sem, tasks[2].program and object())
+
+    def poster():
+        for _ in range(3):
+            yield SemPost(sem)
+
+    k.spawn(poster(), name="p")
+    k.run_to_completion()
+
+
+def test_shutdown_stops_timers(vb1):
+    cfg = optimized_config(cores=1, seed=1, bwd=True)
+    k = Kernel(cfg)
+
+    def w():
+        yield Compute(1 * MS)
+
+    k.spawn(w(), name="w")
+    k.run_to_completion()  # calls shutdown at the end
+    pending_before = k.engine.pending
+    k.engine.run(until=k.now + 100 * MS)
+    # No periodic timers keep firing after shutdown.
+    assert k.engine.events_run >= 0
+    assert k.engine.pending <= pending_before

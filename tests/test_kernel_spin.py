@@ -1,0 +1,245 @@
+"""Spinning: lock handoff, flag polling, LHP dynamics, BWD integration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import optimized_config, vanilla_config
+from repro.kernel import Kernel
+from repro.kernel.task import RunMode, TaskState
+from repro.prog.actions import (
+    Compute,
+    FlagSet,
+    SpinAcquire,
+    SpinFlag,
+    SpinRelease,
+    SpinUntilFlag,
+)
+from repro.sync.spin import make_spinlock
+
+MS = 1_000_000
+US = 1_000
+
+
+def test_spinlock_mutual_exclusion(vanilla8):
+    k = Kernel(vanilla8)
+    lock = make_spinlock("ttas", topology=k.topology)
+    inside = {"count": 0, "max": 0}
+
+    def worker(i):
+        for _ in range(20):
+            yield SpinAcquire(lock)
+            inside["count"] += 1
+            inside["max"] = max(inside["max"], inside["count"])
+            yield Compute(2 * US)
+            inside["count"] -= 1
+            yield SpinRelease(lock)
+            yield Compute(5 * US)
+
+    for i in range(8):
+        k.spawn(worker(i), name=f"w{i}")
+    k.run_to_completion()
+    assert inside["max"] == 1
+    assert lock.acquisitions == 8 * 20
+
+
+@pytest.mark.parametrize("algorithm", ["ticket", "mcs", "clh"])
+def test_fifo_locks_grant_in_arrival_order(algorithm, vanilla8):
+    k = Kernel(vanilla8)
+    lock = make_spinlock(algorithm, topology=k.topology)
+    order = []
+
+    def holder():
+        yield SpinAcquire(lock)
+        yield Compute(2 * MS)
+        yield SpinRelease(lock)
+
+    def waiter(i):
+        yield Compute((i + 1) * 50 * US)
+        yield SpinAcquire(lock)
+        order.append(i)
+        yield SpinRelease(lock)
+
+    k.spawn(holder(), name="h")
+    for i in range(5):
+        k.spawn(waiter(i), name=f"w{i}")
+    k.run_to_completion()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_spinner_burns_cpu_while_waiting(vanilla8):
+    k = Kernel(vanilla8)
+    lock = make_spinlock("ttas", topology=k.topology)
+
+    def holder():
+        yield SpinAcquire(lock)
+        yield Compute(3 * MS)
+        yield SpinRelease(lock)
+
+    def spinner():
+        yield Compute(10 * US)
+        yield SpinAcquire(lock)
+        yield SpinRelease(lock)
+
+    k.spawn(holder(), name="h")
+    s = k.spawn(spinner(), name="s")
+    k.run_to_completion()
+    # The spinner spent ~3 ms in SPIN mode on its own core.
+    assert s.stats.spin_ns > 2 * MS
+
+
+def test_spin_flag_wavefront(vanilla8):
+    k = Kernel(vanilla8)
+    flags = [SpinFlag(f"f{i}") for i in range(4)]
+    order = []
+
+    def worker(i):
+        if i > 0:
+            yield SpinUntilFlag(flags[i - 1], 1)
+        yield Compute(100 * US)
+        order.append(i)
+        yield FlagSet(flags[i], 1)
+
+    for i in range(4):
+        k.spawn(worker(i), name=f"w{i}")
+    k.run_to_completion()
+    assert order == [0, 1, 2, 3]
+
+
+def test_spin_flag_add_accumulates(vanilla8):
+    k = Kernel(vanilla8)
+    flag = SpinFlag("ctr")
+
+    def arriver(i):
+        yield Compute((i + 1) * 10 * US)
+        yield FlagSet(flag, 1, add=True)
+        yield SpinUntilFlag(flag, 6)
+
+    for i in range(6):
+        k.spawn(arriver(i), name=f"a{i}")
+    k.run_to_completion()
+    assert flag.value == 6
+
+
+def test_lock_holder_preemption_cascade():
+    """Oversubscribed on one core, spinners burn time slices that the
+    preempted lock holder needs, stretching the critical section far past
+    its nominal length — the cascade BWD exists to break."""
+    k = Kernel(vanilla_config(cores=1, seed=3))
+    lock = make_spinlock("ticket", topology=k.topology)
+    marks = {}
+
+    def holder():
+        yield SpinAcquire(lock)
+        marks["acquired"] = k.now
+        yield Compute(4 * MS)  # longer than a slice: preempted mid-CS
+        marks["released"] = k.now
+        yield SpinRelease(lock)
+
+    def spinner(i):
+        yield Compute(10 * US)
+        yield SpinAcquire(lock)
+        yield SpinRelease(lock)
+
+    k.spawn(holder(), name="h")
+    spinners = [k.spawn(spinner(i), name=f"s{i}") for i in range(3)]
+    k.run_to_completion()
+    cs_wall = marks["released"] - marks["acquired"]
+    # The 4 ms critical section takes ~3x longer in wall time because the
+    # three spinners get their fair share of the core while waiting.
+    assert cs_wall > 9 * MS
+    assert sum(s.stats.spin_ns for s in spinners) > 5 * MS
+
+
+def test_bwd_detects_and_deschedules_spinner(bwd8):
+    k = Kernel(bwd8)
+    lock = make_spinlock("mcs", topology=k.topology)
+
+    def holder():
+        yield SpinAcquire(lock)
+        yield Compute(50 * MS)
+        yield SpinRelease(lock)
+
+    def spinner():
+        yield Compute(10 * US)
+        yield SpinAcquire(lock)
+        yield SpinRelease(lock)
+
+    # Both on CPU 0 via pinning to force co-residency.
+    k.spawn(holder(), name="h", pinned_cpu=0)
+    s = k.spawn(spinner(), name="s", pinned_cpu=0)
+    k.run_for(10 * MS)
+    assert k.bwd.stats.deschedules > 0
+    assert s.stats.bwd_deschedules > 0
+
+
+def test_bwd_skip_flag_lets_others_run_first():
+    """After a BWD deschedule the spinner's vruntime is pushed behind all
+    queued runnable tasks."""
+    cfg = optimized_config(cores=1, seed=3, vb=False, bwd=True)
+    k = Kernel(cfg)
+    lock = make_spinlock("ttas", topology=k.topology)
+    progress = []
+
+    def holder():
+        yield SpinAcquire(lock)
+        yield Compute(30 * MS)
+        yield SpinRelease(lock)
+
+    def spinner():
+        yield Compute(10 * US)
+        yield SpinAcquire(lock)
+        yield SpinRelease(lock)
+
+    def bystander():
+        for i in range(100):
+            yield Compute(200 * US)
+            progress.append(k.now)
+
+    k.spawn(holder(), name="h")
+    k.spawn(spinner(), name="s")
+    k.spawn(bystander(), name="b")
+    k.run_for(20 * MS)
+    # The bystander keeps making progress despite the spinner.
+    assert len(progress) >= 20
+
+
+def test_bwd_recovers_oversubscribed_spin_workload():
+    """Headline: 4x oversubscribed spin-barrier workload approaches the
+    dedicated-core baseline under BWD."""
+    from repro.workloads import profile, run_suite_benchmark
+
+    prof = profile("volrend")
+    base = run_suite_benchmark(
+        prof, 8, vanilla_config(cores=8, seed=11), work_scale=0.25
+    )
+    over = run_suite_benchmark(
+        prof, 32, vanilla_config(cores=8, seed=11), work_scale=0.25
+    )
+    fixed = run_suite_benchmark(
+        prof, 32,
+        optimized_config(cores=8, seed=11, vb=False, bwd=True),
+        work_scale=0.25,
+    )
+    assert over.duration_ns > 4 * base.duration_ns  # vanilla collapses
+    assert fixed.duration_ns < over.duration_ns / 2  # BWD recovers most
+
+
+def test_spin_mode_accounting(vanilla1):
+    k = Kernel(vanilla1)
+    flag = SpinFlag("f")
+
+    def spinner():
+        yield SpinUntilFlag(flag, 1)
+
+    def setter():
+        yield Compute(1 * MS)
+        yield FlagSet(flag, 1)
+
+    s = k.spawn(spinner(), name="s")
+    k.spawn(setter(), name="set")
+    k.run_for(100 * US)
+    assert s.mode is RunMode.SPIN or s.state is not TaskState.RUNNING
+    k.run_to_completion()
+    assert s.state is TaskState.EXITED
+    assert s.stats.spin_ns > 0

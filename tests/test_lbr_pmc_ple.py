@@ -1,0 +1,145 @@
+"""LBR ring, PMC synthesis, and the PLE model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import PleConfig, ProfilingConfig
+from repro.hw.lbr import BranchRecord, LastBranchRecord, synthesize_lbr
+from repro.hw.pmc import synthesize_pmc
+from repro.hw.ple import PauseLoopExiting
+
+
+def test_branch_direction():
+    assert BranchRecord(100, 50).backward
+    assert not BranchRecord(50, 100).backward
+
+
+def test_lbr_ring_capacity():
+    lbr = LastBranchRecord(4)
+    for i in range(10):
+        lbr.record(i + 100, i)
+    entries = lbr.entries()
+    assert len(entries) == 4
+    assert {e.from_addr for e in entries} == {106, 107, 108, 109}
+
+
+def test_lbr_spin_signature_requires_full_identical_backward():
+    lbr = LastBranchRecord(3)
+    lbr.record(100, 50)
+    assert not lbr.is_spin_signature()  # not full
+    lbr.record(100, 50)
+    lbr.record(100, 50)
+    assert lbr.is_spin_signature()
+    lbr.record(100, 200)  # forward branch enters the ring
+    assert not lbr.is_spin_signature()
+
+
+def test_lbr_clear():
+    lbr = LastBranchRecord(2)
+    lbr.record(10, 5)
+    lbr.clear()
+    assert not lbr.full
+    assert lbr.entries() == []
+
+
+def test_lbr_capacity_positive():
+    with pytest.raises(ValueError):
+        LastBranchRecord(0)
+
+
+def test_synthesize_pure_spin_matches_signature():
+    rng = np.random.default_rng(0)
+    for _ in range(20):
+        lbr = synthesize_lbr(16, 1.0, spin_signature=7, rng=rng)
+        assert lbr.is_spin_signature()
+
+
+def test_synthesize_polluted_spin_sometimes_misses():
+    rng = np.random.default_rng(0)
+    missed = sum(
+        not synthesize_lbr(16, 1.0, 7, rng, pollution_probability=0.5)
+        .is_spin_signature()
+        for _ in range(200)
+    )
+    assert 50 < missed < 150
+
+
+def test_synthesize_nonspin_rarely_matches():
+    rng = np.random.default_rng(0)
+    matches = sum(
+        synthesize_lbr(16, 0.0, 7, rng).is_spin_signature() for _ in range(300)
+    )
+    assert matches == 0
+
+
+def test_pmc_spin_window_miss_free():
+    rng = np.random.default_rng(0)
+    w = synthesize_pmc(100_000, 1.0, ProfilingConfig(), rng)
+    assert w.miss_free
+    assert w.instructions == 300_000  # 3000 inst/us * 100 us
+
+
+def test_pmc_compute_window_has_paper_rates():
+    """~6667 L1 misses and ~337 TLB misses per 100 us (Section 3.2)."""
+    rng = np.random.default_rng(0)
+    l1 = []
+    tlb = []
+    for _ in range(50):
+        w = synthesize_pmc(100_000, 0.0, ProfilingConfig(), rng)
+        assert not w.miss_free
+        l1.append(w.l1d_misses)
+        tlb.append(w.tlb_misses)
+    assert np.mean(l1) == pytest.approx(6667, rel=0.1)
+    assert np.mean(tlb) == pytest.approx(337, rel=0.15)
+
+
+def test_pmc_partial_spin_scales_misses():
+    rng = np.random.default_rng(0)
+    full = np.mean(
+        [synthesize_pmc(100_000, 0.0, ProfilingConfig(), rng).l1d_misses
+         for _ in range(30)]
+    )
+    half = np.mean(
+        [synthesize_pmc(100_000, 0.5, ProfilingConfig(), rng).l1d_misses
+         for _ in range(30)]
+    )
+    assert half == pytest.approx(full / 2, rel=0.2)
+
+
+def test_pmc_tight_loop_probability():
+    rng = np.random.default_rng(0)
+    free = sum(
+        synthesize_pmc(
+            100_000, 0.0, ProfilingConfig(), rng, tight_loop_probability=0.3
+        ).miss_free
+        for _ in range(500)
+    )
+    assert 100 < free < 200
+
+
+def test_ple_detects_only_pause_spins():
+    ple = PauseLoopExiting(PleConfig(enabled=True, window_ns=100), num_cpus=2)
+    assert not ple.observe(0, 0, True)  # arms
+    assert ple.observe(0, 150, True)  # past the window -> exit
+    assert ple.exits == 1
+    # Non-PAUSE spinning never triggers and resets the clock.
+    assert not ple.observe(1, 0, False)
+    assert not ple.observe(1, 1_000_000, False)
+    assert ple.exits == 1
+
+
+def test_ple_spin_clock_resets_on_break():
+    ple = PauseLoopExiting(PleConfig(enabled=True, window_ns=100), num_cpus=1)
+    ple.observe(0, 0, True)
+    ple.observe(0, 50, False)  # break
+    assert not ple.observe(0, 60, True)  # re-armed at 60
+    assert not ple.observe(0, 140, True)  # only 80 elapsed
+    assert ple.observe(0, 170, True)
+
+
+def test_ple_disabled_never_fires():
+    ple = PauseLoopExiting(PleConfig(enabled=False), num_cpus=1)
+    assert not ple.observe(0, 0, True)
+    assert not ple.observe(0, 10**9, True)

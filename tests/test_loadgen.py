@@ -1,0 +1,116 @@
+"""Closed- and open-loop load generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import vanilla_config
+from repro.kernel import Kernel
+from repro.kernel.epoll import EpollInstance
+from repro.prog.actions import Compute, EpollWait
+from repro.workloads.loadgen import (
+    ClientRequest,
+    ClosedLoopClients,
+    OpenLoopClients,
+)
+
+MS = 1_000_000
+US = 1_000
+
+
+def make_echo_server(kernel, clients_box, service_ns=5 * US, workers=2):
+    """A trivial epoll server that completes every request."""
+    ep = EpollInstance("srv")
+
+    def worker(i):
+        while True:
+            batch = yield EpollWait(ep)
+            for req in batch:
+                yield Compute(service_ns)
+                clients_box[0].complete(req)
+
+    for i in range(workers):
+        kernel.spawn(worker(i), name=f"srv{i}")
+    return lambda req: kernel.epoll_post(ep, req)
+
+
+def test_closed_loop_validation():
+    k = Kernel(vanilla_config(cores=1, seed=1))
+    with pytest.raises(ValueError):
+        ClosedLoopClients(k, lambda r: None, connections=0, think_ns=10)
+    with pytest.raises(ValueError):
+        ClosedLoopClients(k, lambda r: None, connections=1, think_ns=-1)
+    with pytest.raises(ValueError):
+        OpenLoopClients(k, lambda r: None, rate_per_sec=0)
+
+
+def test_closed_loop_steady_state():
+    k = Kernel(vanilla_config(cores=2, seed=1))
+    box = [None]
+    submit = make_echo_server(k, box)
+    clients = ClosedLoopClients(
+        k, submit, connections=8, think_ns=50 * US, warmup_ns=5 * MS
+    )
+    box[0] = clients
+    clients.start()
+    k.run_for(60 * MS)
+    k.shutdown()
+    assert clients.completed > 500
+    # Closed loop: in-flight requests never exceed the connection count.
+    assert clients.sent - clients.completed <= 8 + clients.sent * 0.1
+    s = clients.latency_summary()
+    assert s.p99 >= s.p50 > 0
+    # Little's law sanity: throughput ~ connections / (think + latency).
+    thr = clients.throughput_ops(55 * MS)
+    expected = 8 / ((50 + s.mean) * 1e-6)
+    assert thr == pytest.approx(expected, rel=0.35)
+
+
+def test_closed_loop_payload_fn():
+    k = Kernel(vanilla_config(cores=1, seed=2))
+    seen = []
+
+    def submit(req: ClientRequest):
+        seen.append(req.payload)
+        clients.complete(req)
+
+    clients = ClosedLoopClients(
+        k, submit, connections=3, think_ns=20 * US,
+        payload_fn=lambda rng: "get" if rng.random() < 0.9 else "set",
+    )
+    clients.start()
+    k.run_for(10 * MS)
+    k.shutdown()
+    kinds = set(seen)
+    assert kinds <= {"get", "set"}
+    assert "get" in kinds
+    assert seen.count("get") > seen.count("set")
+
+
+def test_open_loop_rate():
+    k = Kernel(vanilla_config(cores=2, seed=3))
+    box = [None]
+    submit = make_echo_server(k, box, service_ns=2 * US, workers=2)
+    clients = OpenLoopClients(k, submit, rate_per_sec=50_000)
+    box[0] = clients
+    clients.start()
+    k.run_for(100 * MS)
+    clients.stop()
+    k.shutdown()
+    # ~5000 arrivals expected over 100 ms at 50k/s.
+    assert clients.sent == pytest.approx(5000, rel=0.15)
+    assert clients.completed > 0.9 * clients.sent
+
+
+def test_open_loop_stop_halts_arrivals():
+    k = Kernel(vanilla_config(cores=1, seed=4))
+    fired = []
+    clients = OpenLoopClients(
+        k, lambda r: fired.append(r), rate_per_sec=10_000
+    )
+    clients.start()
+    k.run_for(20 * MS)
+    clients.stop()
+    count = len(fired)
+    k.run_for(20 * MS)
+    assert len(fired) == count

@@ -1,0 +1,162 @@
+"""Analytical memory model: Figure 4's regimes and cross-validation
+against the exact cache/TLB simulators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import HardwareConfig
+from repro.errors import ConfigError
+from repro.hw.cache import SetAssociativeCache
+from repro.hw.memmodel import AccessPattern, MemoryModel, _fit_probability
+from repro.hw.tlb import TwoLevelTlb
+
+KB = 1024
+MB = 1024 * KB
+
+
+@pytest.fixture
+def model():
+    return MemoryModel(HardwareConfig())
+
+
+def cost(model, pattern, size):
+    return model.indirect_cs_cost(pattern, size)["cost_per_cs_ns"]
+
+
+# ---------------------------------------------------------------------
+# Regime probabilities
+# ---------------------------------------------------------------------
+def test_fit_unshared_is_certain_hit():
+    assert _fit_probability(100, 100, 1000, 8) == 1.0
+
+
+def test_fit_with_flush_loses_one_touch():
+    p = _fit_probability(100, 400, 200, 8)
+    assert p == pytest.approx(1 - 1 / 8)
+
+
+def test_over_capacity_share():
+    p = _fit_probability(500, 500, 100, 8)
+    assert 0 < p < 0.5
+    # Flushed over-capacity with damping halves the share.
+    damped = _fit_probability(500, 1000, 100, 8, damp_when_flushed=True)
+    undamped = _fit_probability(500, 1000, 100, 8, damp_when_flushed=False)
+    assert damped == pytest.approx(undamped / 2)
+
+
+# ---------------------------------------------------------------------
+# Figure 4 shape assertions (paper, Section 2.3)
+# ---------------------------------------------------------------------
+def test_sequential_cost_nonnegative_and_growing(model):
+    sizes = [256 * KB, 1 * MB, 8 * MB, 64 * MB, 128 * MB]
+    costs = [cost(model, AccessPattern.SEQ_R, s) for s in sizes]
+    assert all(c >= 0 for c in costs)
+    assert costs == sorted(costs)
+
+
+def test_sequential_cost_magnitude_at_128mb(model):
+    """The paper measures ~1 ms per switch at 128 MB."""
+    c = cost(model, AccessPattern.SEQ_R, 128 * MB)
+    assert 300_000 <= c <= 5_000_000  # 0.3 - 5 ms
+
+
+def test_sequential_overhead_bounded_six_percent(model):
+    """Paper: the 1 ms penalty is < 6% of the 17.5 ms epoch."""
+    r = model.indirect_cs_cost(AccessPattern.SEQ_R, 128 * MB)
+    overhead = (r["t_over_ns"] - r["t_serial_ns"]) / r["t_serial_ns"]
+    assert overhead < 0.10
+
+
+def test_random_read_negative_at_tlb1_knee(model):
+    """Sub-arrays fit the 256 KB L1-TLB reach; the full array does not."""
+    assert cost(model, AccessPattern.RND_R, 256 * KB) < 0
+    assert cost(model, AccessPattern.RND_R, 512 * KB) < 0
+
+
+def test_random_read_positive_between_1_and_4mb(model):
+    for size in (1 * MB, 2 * MB, 4 * MB):
+        assert cost(model, AccessPattern.RND_R, size) > 0
+
+
+def test_random_read_strongly_negative_at_tlb2_knee(model):
+    """Sub-array fits the 6 MB L2-TLB reach; the full 8 MB array does not
+    — the paper's 'beyond 4 MB more threads become favorable'."""
+    c = cost(model, AccessPattern.RND_R, 8 * MB)
+    assert c < -1_000_000  # at least 1 ms in favor of oversubscription
+
+
+def test_tlb_gain_order_of_magnitude_larger_than_l2_effect(model):
+    gain = -cost(model, AccessPattern.RND_R, 8 * MB)
+    l2_penalty = cost(model, AccessPattern.RND_R, 2 * MB)
+    assert gain > 10 * l2_penalty
+
+
+def test_random_rmw_never_meaningfully_positive(model):
+    """Paper: 'always more favorable to oversubscribe for RMW with random
+    access'."""
+    for size in [256 * KB, 512 * KB, 1 * MB, 2 * MB, 4 * MB, 8 * MB, 64 * MB]:
+        assert cost(model, AccessPattern.RND_RMW, size) <= 1_000  # ~0 or < 0
+
+
+def test_oversubscription_needs_two_threads(model):
+    with pytest.raises(ConfigError):
+        model.indirect_cs_cost(AccessPattern.SEQ_R, MB, nthreads=1)
+
+
+def test_epoch_region_validation(model):
+    with pytest.raises(ConfigError):
+        model.epoch(AccessPattern.SEQ_R, 4)
+    with pytest.raises(ConfigError):
+        model.epoch(AccessPattern.SEQ_R, MB, total_bytes=KB)
+
+
+def test_epoch_accesses_count(model):
+    e = model.epoch(AccessPattern.RND_R, 1 * MB)
+    assert e.accesses == 1 * MB // 8
+    assert e.time_ns == pytest.approx(e.per_access_ns * e.accesses)
+
+
+def test_four_thread_split_shifts_knees(model):
+    """With 4 threads the sub-array is total/4, so the TLB2 benefit region
+    extends to larger totals."""
+    r4 = model.indirect_cs_cost(AccessPattern.RND_R, 16 * MB, nthreads=4)
+    r2 = model.indirect_cs_cost(AccessPattern.RND_R, 16 * MB, nthreads=2)
+    assert r4["cost_per_cs_ns"] < r2["cost_per_cs_ns"]
+
+
+# ---------------------------------------------------------------------
+# Cross-validation against the exact simulators (scaled down)
+# ---------------------------------------------------------------------
+def test_tlb_fit_arithmetic_matches_exact_sim():
+    """The model's central claim: a region within reach has ~full hit rate
+    after refill; a region over reach thrashes."""
+    tlb = TwoLevelTlb(l1_entries=8, l2_entries=64, page_bytes=4096)
+    rng = np.random.default_rng(1)
+    reach = 8 * 4096
+    # Region = half reach: all hits after first touches.
+    region_pages = 4
+    addrs = rng.integers(0, region_pages, 4000) * 4096
+    for a in addrs:
+        tlb.access(int(a))
+    assert tlb.l1_hits / tlb.accesses > 0.99
+    # Region = 4x reach: mostly L2 hits / walks at the first level.
+    tlb2 = TwoLevelTlb(l1_entries=8, l2_entries=64, page_bytes=4096)
+    addrs = rng.integers(0, 32, 4000) * 4096
+    for a in addrs:
+        tlb2.access(int(a))
+    assert tlb2.l1_hits / tlb2.accesses < 0.5
+
+
+def test_flush_refill_fraction_matches_line_touches():
+    """Fit-with-flush predicts 1/8 misses (8 element-touches per line):
+    confirm with the exact cache on a flushed region that fits."""
+    cache = SetAssociativeCache(64 * 64, assoc=64, line_bytes=64)  # 64 lines
+    rng = np.random.default_rng(2)
+    region_lines = 32
+    elems = rng.permutation(np.repeat(np.arange(region_lines), 8))
+    cache.flush()  # the "other thread's epoch"
+    for line in elems:
+        cache.access(int(line) * 64 + int(rng.integers(0, 8)) * 8)
+    assert cache.miss_rate() == pytest.approx(1 / 8, abs=0.02)

@@ -1,0 +1,92 @@
+"""Property-based tests over the analytical memory model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import HardwareConfig
+from repro.hw.memmodel import AccessPattern, MemoryModel, _fit_probability
+
+KB = 1024
+MB = 1024 * KB
+
+model = MemoryModel(HardwareConfig())
+
+sizes = st.integers(min_value=16 * KB, max_value=256 * MB)
+thread_counts = st.sampled_from([2, 4, 8])
+
+
+@settings(max_examples=150, deadline=None)
+@given(sizes, thread_counts)
+def test_epoch_time_positive_and_scales_with_accesses(total, n):
+    sub = max(8, total // n)
+    e = model.epoch(AccessPattern.SEQ_R, sub, total, n)
+    assert e.time_ns > 0
+    assert e.accesses == sub // 8
+    # Per-access time is bounded by one memory access + walk + base.
+    hw = model.hw
+    assert e.per_access_ns <= hw.mem_latency_ns + hw.page_walk_ns + 5
+
+
+@settings(max_examples=100, deadline=None)
+@given(sizes)
+def test_seq_per_access_monotone_in_footprint(total):
+    """A bigger combined footprint can only slow a sequential sweep."""
+    region = max(64, total // 2)
+    small = model.epoch(AccessPattern.SEQ_R, region, total, 2)
+    big = model.epoch(AccessPattern.SEQ_R, region, total * 2, 2)
+    assert big.per_access_ns >= small.per_access_ns - 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(sizes)
+def test_rmw_never_cheaper_than_read(total):
+    region = max(64, total // 2)
+    for seq, rmw in (
+        (AccessPattern.SEQ_R, AccessPattern.SEQ_RMW),
+        (AccessPattern.RND_R, AccessPattern.RND_RMW),
+    ):
+        r = model.epoch(seq, region, total, 2)
+        w = model.epoch(rmw, region, total, 2)
+        assert w.per_access_ns >= r.per_access_ns - 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=10**9),
+    st.integers(min_value=1, max_value=10**9),
+    st.integers(min_value=1, max_value=10**9),
+    st.sampled_from([8, 512]),
+)
+def test_fit_probability_is_a_probability(region, total, capacity, touches):
+    total = max(total, region)
+    for damp in (False, True):
+        p = _fit_probability(region, total, capacity, touches, damp)
+        assert 0.0 <= p <= 1.0
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.integers(min_value=64, max_value=10**8),
+    st.integers(min_value=64, max_value=10**8),
+)
+def test_fit_probability_monotone_in_capacity(region, total):
+    total = max(total, region)
+    last = -1.0
+    for cap in (1 * KB, 64 * KB, 4 * MB, 256 * MB):
+        p = _fit_probability(region, total, cap, 8)
+        assert p >= last - 1e-12
+        last = p
+
+
+@settings(max_examples=60, deadline=None)
+@given(sizes, thread_counts)
+def test_indirect_cost_consistent_accounting(total, n):
+    total = max(total, n * 8)
+    r = model.indirect_cs_cost(AccessPattern.RND_R, total, nthreads=n)
+    # (t_over - t_serial) / switches must equal the reported per-CS cost.
+    expect = (r["t_over_ns"] - r["t_serial_ns"]) / r["num_switches"]
+    assert r["cost_per_cs_ns"] == pytest.approx(expect)
+    assert r["num_switches"] == n * 8

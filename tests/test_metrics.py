@@ -1,0 +1,71 @@
+"""Statistics helpers and the run collector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import vanilla_config
+from repro.kernel import Kernel
+from repro.metrics import collect, percentile, summarize_latencies
+from repro.prog.actions import BarrierWait, Compute
+from repro.sync import Barrier
+
+MS = 1_000_000
+
+
+def test_percentile_nearest_rank():
+    values = list(range(1, 101))
+    assert percentile(values, 50) == 50
+    assert percentile(values, 95) == 95
+    assert percentile(values, 99) == 99
+    assert percentile(values, 100) == 100
+    assert percentile(values, 0) == 1
+
+
+def test_percentile_validation():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile([1], 101)
+
+
+def test_summary_fields():
+    s = summarize_latencies([1.0, 2.0, 3.0, 4.0, 100.0])
+    assert s.count == 5
+    assert s.mean == pytest.approx(22.0)
+    assert s.max == 100.0
+    assert s.p99 == 100.0
+    d = s.as_dict()
+    assert d["p95"] == s.p95
+
+
+def test_summary_empty_rejected():
+    with pytest.raises(ValueError):
+        summarize_latencies([])
+
+
+def test_collect_consistency():
+    k = Kernel(vanilla_config(cores=4, seed=3))
+    bar = Barrier(8)
+
+    def worker(i):
+        for _ in range(10):
+            yield Compute(100_000)
+            yield BarrierWait(bar)
+
+    for i in range(8):
+        k.spawn(worker(i), name=f"w{i}")
+    k.run_to_completion()
+    stats = collect(k)
+    assert stats.wall_ns == k.now - k.start_time
+    assert stats.blocks > 0
+    assert stats.wakeups > 0
+    assert stats.total_cpu_ns > 8 * 10 * 100_000 * 0.9
+    assert stats.total_migrations == (
+        stats.migrations_in_node + stats.migrations_cross_node
+    )
+    assert 0 < stats.cpu_utilization_pct <= 400.0 + 1e-6
+    assert stats.mean_wakeup_latency_ns >= 0
+    # No BWD in this config.
+    assert stats.bwd_deschedules == 0
+    assert stats.bwd_specificity == 1.0

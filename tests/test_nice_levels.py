@@ -1,0 +1,82 @@
+"""CFS nice levels: weight table and proportional CPU sharing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import vanilla_config
+from repro.kernel import Kernel, nice_to_weight
+from repro.prog.actions import Compute
+
+MS = 1_000_000
+
+
+def test_weight_table_anchor_points():
+    assert nice_to_weight(0) == 1024
+    assert nice_to_weight(-20) == 88761
+    assert nice_to_weight(19) == 15
+    # Each nice step is ~1.25x.
+    assert nice_to_weight(-1) / nice_to_weight(0) == pytest.approx(1.25, rel=0.05)
+    assert nice_to_weight(0) / nice_to_weight(1) == pytest.approx(1.25, rel=0.05)
+
+
+def test_weight_bounds():
+    with pytest.raises(ValueError):
+        nice_to_weight(-21)
+    with pytest.raises(ValueError):
+        nice_to_weight(20)
+
+
+def hog():
+    while True:
+        yield Compute(1 * MS)
+
+
+def test_equal_nice_equal_share(vanilla1):
+    k = Kernel(vanilla1)
+    a = k.spawn(hog(), name="a", nice=0)
+    b = k.spawn(hog(), name="b", nice=0)
+    k.run_for(40 * MS)
+    ratio = max(a.stats.cpu_ns, b.stats.cpu_ns) / min(
+        a.stats.cpu_ns, b.stats.cpu_ns
+    )
+    assert ratio < 1.3
+
+
+def test_nicer_task_gets_less_cpu(vanilla1):
+    k = Kernel(vanilla1)
+    normal = k.spawn(hog(), name="n", nice=0)
+    nicer = k.spawn(hog(), name="p", nice=5)
+    k.run_for(120 * MS)
+    expected = nice_to_weight(0) / nice_to_weight(5)  # ~3.06
+    measured = normal.stats.cpu_ns / nicer.stats.cpu_ns
+    assert measured == pytest.approx(expected, rel=0.35)
+    assert measured > 1.8
+
+
+def test_high_priority_task_dominates(vanilla1):
+    k = Kernel(vanilla1)
+    boosted = k.spawn(hog(), name="boost", nice=-10)
+    normal = k.spawn(hog(), name="norm", nice=0)
+    k.run_for(120 * MS)
+    assert boosted.stats.cpu_ns > 3 * normal.stats.cpu_ns
+
+
+def test_nice_does_not_break_blocking(vanilla8):
+    from repro.prog.actions import BarrierWait
+    from repro.sync import Barrier
+
+    k = Kernel(vanilla8)
+    bar = Barrier(6)
+    done = []
+
+    def worker(i):
+        for _ in range(5):
+            yield Compute(100_000)
+            yield BarrierWait(bar)
+        done.append(i)
+
+    for i in range(6):
+        k.spawn(worker(i), name=f"w{i}", nice=(i % 3) * 4)
+    k.run_to_completion()
+    assert sorted(done) == list(range(6))

@@ -1,0 +1,86 @@
+"""NPB-on-OpenMP kernel models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import optimized_config, vanilla_config
+from repro.errors import ProgramError
+from repro.workloads.npb_omp import (
+    NPB_OMP_KERNELS,
+    NpbOmpConfig,
+    build_npb_omp,
+    run_npb_omp,
+)
+
+SMALL = NpbOmpConfig(iterations=2, base_rows=64)
+
+
+@pytest.mark.parametrize("kernel", NPB_OMP_KERNELS)
+def test_every_kernel_completes(kernel):
+    r = run_npb_omp(kernel, 8, vanilla_config(cores=4, seed=1), SMALL)
+    assert r.duration_ns > 0
+    assert r.stats.blocks > 0  # implicit barriers were exercised
+
+
+def test_unknown_kernel_rejected():
+    with pytest.raises(ProgramError):
+        build_npb_omp("bogus", 4, SMALL)
+
+
+def test_region_structure_counts():
+    _, ep = build_npb_omp("ep", 4, SMALL)
+    assert len(ep) == 2  # batches + reduce
+    _, cg = build_npb_omp("cg", 4, SMALL)
+    assert len(cg) == 3 * SMALL.iterations  # spmv + 2 dots per iteration
+    _, ft = build_npb_omp("ft", 4, SMALL)
+    assert len(ft) == 3 * SMALL.iterations  # one sweep per axis
+    _, mg = build_npb_omp("mg", 4, SMALL)
+    assert len(mg) == SMALL.mg_levels * SMALL.iterations
+
+
+def test_mg_coarse_levels_shrink():
+    _, regions = build_npb_omp("mg", 4, SMALL)
+    trips = [len(r.iter_costs_ns) for r in regions[: SMALL.mg_levels]]
+    assert trips[0] > trips[1] > trips[2]
+    assert trips[-1] >= 2
+
+
+def test_all_iterations_complete_once():
+    _, regions = build_npb_omp("cg", 6, SMALL)
+    r = run_npb_omp("cg", 6, vanilla_config(cores=4, seed=2), SMALL)
+    # Re-run through the same builder inside run_npb_omp; assert on a
+    # fresh build executed directly instead.
+    from repro.kernel import Kernel
+
+    k = Kernel(vanilla_config(cores=4, seed=2))
+    programs, regions = build_npb_omp("cg", 6, SMALL)
+    for i, g in enumerate(programs):
+        k.spawn(g, name=f"t{i}")
+    k.run_to_completion()
+    for region in regions:
+        assert sum(region.executed) == len(region.iter_costs_ns)
+        assert region.barrier.generations == 1
+
+
+def test_ep_insensitive_cg_sensitive_to_oversubscription():
+    """EP (one big region) barely notices 4x oversubscription; CG (three
+    barriers per iteration) suffers on vanilla and recovers under VB."""
+    cfg = NpbOmpConfig(iterations=4, base_rows=128, row_cost_ns=20_000)
+
+    def ratios(kernel):
+        base = run_npb_omp(kernel, 8, vanilla_config(cores=8, seed=3), cfg)
+        over = run_npb_omp(kernel, 32, vanilla_config(cores=8, seed=3), cfg)
+        vb = run_npb_omp(
+            kernel, 32, optimized_config(cores=8, seed=3, bwd=False), cfg
+        )
+        return (
+            over.duration_ns / base.duration_ns,
+            vb.duration_ns / base.duration_ns,
+        )
+
+    ep_over, ep_vb = ratios("ep")
+    cg_over, cg_vb = ratios("cg")
+    assert ep_over < 1.15
+    assert cg_over > ep_over
+    assert cg_vb < cg_over

@@ -1,0 +1,220 @@
+"""Property-based tests over the simulator's core invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import optimized_config, vanilla_config
+from repro.kernel import Kernel
+from repro.kernel.task import TaskState
+from repro.prog.actions import (
+    BarrierWait,
+    Compute,
+    MutexAcquire,
+    MutexRelease,
+    SemPost,
+    SemWait,
+    Yield,
+)
+from repro.sync import Barrier, Mutex, Semaphore
+
+MS = 1_000_000
+US = 1_000
+
+# Compact strategy: a few threads with random small programs.
+durations = st.integers(min_value=1 * US, max_value=500 * US)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(st.lists(durations, min_size=1, max_size=5), min_size=1, max_size=6),
+    st.integers(min_value=1, max_value=4),
+    st.booleans(),
+)
+def test_work_conservation(programs, cores, vb):
+    """Every task exits, the clock advances at least the critical-path
+    time, and busy time equals the work performed."""
+    cfg = (
+        optimized_config(cores=cores, seed=1, bwd=False)
+        if vb
+        else vanilla_config(cores=cores, seed=1)
+    )
+    k = Kernel(cfg)
+
+    def prog(chunks):
+        for c in chunks:
+            yield Compute(c)
+
+    tasks = [
+        k.spawn(prog(chunks), name=f"t{i}")
+        for i, chunks in enumerate(programs)
+    ]
+    k.run_to_completion()
+    assert all(t.state is TaskState.EXITED for t in tasks)
+    total_work = sum(sum(p) for p in programs)
+    longest = max(sum(p) for p in programs)
+    assert k.now >= longest
+    # Wall time is bounded by serialized execution plus modest overhead.
+    assert k.now <= total_work + (len(programs) * 20 + 50) * 50 * US
+    busy = sum(c.busy_ns for c in k.cpus)
+    assert busy >= total_work
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=10),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=20),
+    st.booleans(),
+)
+def test_mutex_exclusion_and_completion(nthreads, cores, iters, vb):
+    cfg = (
+        optimized_config(cores=cores, seed=2, bwd=False)
+        if vb
+        else vanilla_config(cores=cores, seed=2)
+    )
+    k = Kernel(cfg)
+    m = Mutex()
+    state = {"in": 0, "max": 0, "entries": 0}
+
+    def worker(i):
+        for _ in range(iters):
+            yield Compute(5 * US)
+            yield MutexAcquire(m)
+            state["in"] += 1
+            state["entries"] += 1
+            state["max"] = max(state["max"], state["in"])
+            yield Compute(1 * US)
+            state["in"] -= 1
+            yield MutexRelease(m)
+
+    for i in range(nthreads):
+        k.spawn(worker(i), name=f"w{i}")
+    k.run_to_completion(max_ns=120_000 * MS)
+    assert state["max"] == 1
+    assert state["entries"] == nthreads * iters
+    assert m.owner is None
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=12),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=8),
+    st.booleans(),
+)
+def test_barrier_no_generation_skew(parties, cores, rounds, vb):
+    """No thread can be more than one generation ahead of another."""
+    cfg = (
+        optimized_config(cores=cores, seed=3, bwd=False)
+        if vb
+        else vanilla_config(cores=cores, seed=3)
+    )
+    k = Kernel(cfg)
+    bar = Barrier(parties)
+    gen = [0] * parties
+
+    def worker(i):
+        for r in range(rounds):
+            yield Compute((i + 1) * US)
+            yield BarrierWait(bar)
+            gen[i] = r + 1
+            spread = max(gen) - min(gen)
+            assert spread <= 1, f"generation skew {gen}"
+
+    for i in range(parties):
+        k.spawn(worker(i), name=f"w{i}")
+    k.run_to_completion(max_ns=120_000 * MS)
+    assert gen == [rounds] * parties
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=1, max_value=3),
+)
+def test_semaphore_never_negative(producers, consumers, cores):
+    k = Kernel(vanilla_config(cores=cores, seed=4))
+    sem = Semaphore(0)
+    units = 12
+
+    def producer(i):
+        for _ in range(units):
+            yield Compute(3 * US)
+            yield SemPost(sem)
+            assert sem.value >= 0
+
+    total = producers * units
+    per_consumer = total // consumers
+    remainder = total - per_consumer * consumers
+
+    def consumer(i):
+        n = per_consumer + (1 if i < remainder else 0)
+        for _ in range(n):
+            yield SemWait(sem)
+            assert sem.value >= 0
+
+    for i in range(producers):
+        k.spawn(producer(i), name=f"p{i}")
+    for i in range(consumers):
+        k.spawn(consumer(i), name=f"c{i}")
+    k.run_to_completion(max_ns=120_000 * MS)
+    assert sem.value == 0
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+def test_determinism_across_reruns(seed):
+    """Identical configs and seeds yield bit-identical simulations."""
+
+    def run():
+        k = Kernel(vanilla_config(cores=4, seed=seed))
+        bar = Barrier(6)
+
+        def w(i):
+            for _ in range(6):
+                yield Compute(30 * US + i * 7 * US)
+                yield BarrierWait(bar)
+                yield Yield()
+
+        for i in range(6):
+            k.spawn(w(i), name=f"w{i}")
+        k.run_to_completion()
+        return (
+            k.now,
+            k.engine.events_run,
+            k.migrations_in_node,
+            k.migrations_cross_node,
+            tuple(t.stats.nr_switches for t in k.tasks),
+        )
+
+    assert run() == run()
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=24),
+    st.sampled_from([1, 2, 8]),
+)
+def test_vruntime_fairness_property(nthreads, cores):
+    """Long-running equal-weight tasks accumulate CPU time within two
+    slices of each other on every queue."""
+    k = Kernel(vanilla_config(cores=cores, seed=5))
+
+    def spin_forever():
+        while True:
+            yield Compute(1 * MS)
+
+    tasks = [k.spawn(spin_forever(), name=f"t{i}") for i in range(nthreads)]
+    k.run_for(40 * MS)
+    per_cpu: dict[int, list] = {}
+    for t in tasks:
+        per_cpu.setdefault(t.last_cpu, []).append(t)
+    for cpu_tasks in per_cpu.values():
+        if len(cpu_tasks) < 2:
+            continue
+        times = [t.stats.cpu_ns for t in cpu_tasks]
+        assert max(times) - min(times) <= 2 * k.config.scheduler.regular_slice_ns + 2 * MS

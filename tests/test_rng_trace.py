@@ -1,0 +1,61 @@
+"""Deterministic RNG streams and trace recorder."""
+
+from __future__ import annotations
+
+from repro.sim.rng import RngStreams
+from repro.sim.trace import TraceRecorder
+
+
+def test_same_seed_same_stream():
+    a = RngStreams(42).stream("x")
+    b = RngStreams(42).stream("x")
+    assert list(a.integers(0, 1000, 10)) == list(b.integers(0, 1000, 10))
+
+
+def test_different_names_independent():
+    s = RngStreams(42)
+    a = list(s.stream("a").integers(0, 10**9, 8))
+    b = list(s.stream("b").integers(0, 10**9, 8))
+    assert a != b
+
+
+def test_stream_cached_not_restarted():
+    s = RngStreams(1)
+    first = list(s.stream("x").integers(0, 10**9, 4))
+    second = list(s.stream("x").integers(0, 10**9, 4))
+    assert first != second  # continued, not re-created
+
+
+def test_adding_consumer_does_not_perturb_existing():
+    s1 = RngStreams(9)
+    a1 = list(s1.stream("alpha").integers(0, 10**9, 5))
+    s2 = RngStreams(9)
+    _ = s2.stream("zeta")  # new consumer created first
+    a2 = list(s2.stream("alpha").integers(0, 10**9, 5))
+    assert a1 == a2
+
+
+def test_fork_differs():
+    s = RngStreams(5)
+    f = s.fork(1)
+    assert list(s.stream("x").integers(0, 10**9, 4)) != list(
+        f.stream("x").integers(0, 10**9, 4)
+    )
+
+
+def test_trace_disabled_records_nothing():
+    tr = TraceRecorder(enabled=False)
+    tr.emit(1, "dispatch", 0, "t")
+    assert tr.events == []
+
+
+def test_trace_kind_filter_and_count():
+    tr = TraceRecorder(enabled=True, kinds={"wake"})
+    tr.emit(1, "wake", 0, "a", how="vb")
+    tr.emit(2, "park", 0, "a")
+    tr.emit(3, "wake", 1, "b", how="vanilla")
+    assert tr.count("wake") == 2
+    assert tr.count("park") == 0
+    assert [e.cpu for e in tr.of_kind("wake")] == [0, 1]
+    tr.clear()
+    assert tr.events == []

@@ -1,0 +1,305 @@
+"""Reader-writer lock, requeue-based condition variables, patterns."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import optimized_config, vanilla_config
+from repro.errors import ProgramError
+from repro.kernel import Kernel
+from repro.prog.actions import (
+    Compute,
+    CondBroadcastRequeue,
+    CondWaitRequeue,
+    MutexAcquire,
+    MutexEnsure,
+    MutexRelease,
+    RwAcquireRead,
+    RwAcquireWrite,
+    RwReleaseRead,
+    RwReleaseWrite,
+)
+from repro.prog.patterns import cond_wait, read_locked, with_mutex, write_locked
+from repro.sync import CondVar, Mutex, RwLock
+
+MS = 1_000_000
+US = 1_000
+
+
+# ---------------------------------------------------------------------
+# RwLock
+# ---------------------------------------------------------------------
+def test_readers_share_writers_exclude(vanilla8):
+    k = Kernel(vanilla8)
+    rw = RwLock()
+    state = {"readers": 0, "writers": 0, "max_r": 0, "max_w": 0, "overlap": 0}
+
+    def reader(i):
+        for _ in range(15):
+            yield Compute(5 * US)
+            yield RwAcquireRead(rw)
+            state["readers"] += 1
+            state["max_r"] = max(state["max_r"], state["readers"])
+            if state["writers"]:
+                state["overlap"] += 1
+            yield Compute(3 * US)
+            state["readers"] -= 1
+            yield RwReleaseRead(rw)
+
+    def writer(i):
+        for _ in range(8):
+            yield Compute(12 * US)
+            yield RwAcquireWrite(rw)
+            state["writers"] += 1
+            state["max_w"] = max(state["max_w"], state["writers"])
+            if state["readers"]:
+                state["overlap"] += 1
+            yield Compute(4 * US)
+            state["writers"] -= 1
+            yield RwReleaseWrite(rw)
+
+    for i in range(6):
+        k.spawn(reader(i), name=f"r{i}")
+    for i in range(2):
+        k.spawn(writer(i), name=f"w{i}")
+    k.run_to_completion()
+    assert state["max_w"] == 1  # writers exclusive
+    assert state["overlap"] == 0  # never readers+writer together
+    assert state["max_r"] > 1  # readers actually shared
+
+
+def test_rwlock_write_handoff_to_queued_writer(vanilla1):
+    k = Kernel(vanilla1)
+    rw = RwLock()
+    order = []
+
+    def writer(i):
+        yield Compute((i + 1) * 20 * US)
+        yield RwAcquireWrite(rw)
+        order.append(i)
+        yield Compute(5 * MS)  # force the others to queue
+        yield RwReleaseWrite(rw)
+
+    for i in range(3):
+        k.spawn(writer(i), name=f"w{i}")
+    k.run_to_completion()
+    assert order == [0, 1, 2]
+
+
+def test_rwlock_reader_cohort_released_together(vanilla8):
+    """Readers blocked behind a writer are admitted as one group."""
+    k = Kernel(vanilla8)
+    rw = RwLock()
+    entered = []
+
+    def writer():
+        yield RwAcquireWrite(rw)
+        yield Compute(5 * MS)
+        yield RwReleaseWrite(rw)
+
+    def reader(i):
+        yield Compute(10 * US)
+        yield RwAcquireRead(rw)
+        entered.append((i, k.now))
+        yield Compute(100 * US)
+        yield RwReleaseRead(rw)
+
+    k.spawn(writer(), name="w")
+    for i in range(6):
+        k.spawn(reader(i), name=f"r{i}")
+    k.run_to_completion()
+    assert len(entered) == 6
+    times = [t for _, t in entered]
+    assert max(times) - min(times) < 1 * MS  # one cohort, not serialized
+
+
+def test_rwlock_misuse_raises(vanilla1):
+    k = Kernel(vanilla1)
+    rw = RwLock()
+
+    def bad():
+        yield RwReleaseRead(rw)
+
+    with pytest.raises(ProgramError):
+        k.spawn(bad(), name="bad")
+        k.run_to_completion()
+
+
+def test_rwlock_writer_blocks_new_readers(vanilla8):
+    """A queued writer prevents fresh readers from barging (fairness)."""
+    k = Kernel(vanilla8)
+    rw = RwLock()
+    log = []
+
+    def long_reader():
+        yield RwAcquireRead(rw)
+        yield Compute(3 * MS)
+        log.append("reader0-out")
+        yield RwReleaseRead(rw)
+
+    def writer():
+        yield Compute(100 * US)
+        yield RwAcquireWrite(rw)
+        log.append("writer")
+        yield RwReleaseWrite(rw)
+
+    def late_reader():
+        yield Compute(500 * US)  # arrives while the writer queues
+        yield RwAcquireRead(rw)
+        log.append("late-reader")
+        yield RwReleaseRead(rw)
+
+    k.spawn(long_reader(), name="r0")
+    k.spawn(writer(), name="w")
+    k.spawn(late_reader(), name="r1")
+    k.run_to_completion()
+    assert log.index("writer") < log.index("late-reader")
+
+
+# ---------------------------------------------------------------------
+# Requeue condvar + patterns
+# ---------------------------------------------------------------------
+@pytest.mark.parametrize("kernel_kind", ["vanilla", "vb"])
+def test_cond_wait_pattern_full_protocol(kernel_kind):
+    cfg = (
+        vanilla_config(cores=4, seed=6)
+        if kernel_kind == "vanilla"
+        else optimized_config(cores=4, seed=6, bwd=False)
+    )
+    k = Kernel(cfg)
+    m = Mutex()
+    cv = CondVar()
+    shared = {"ready": False, "woken_holding_mutex": 0}
+
+    def waiter(i):
+        yield MutexAcquire(m)
+        while not shared["ready"]:
+            yield from cond_wait(cv, m)
+        # pthread_cond_wait returns with the mutex held.
+        if m.owner is not None and m.owner.name == f"w{i}":
+            shared["woken_holding_mutex"] += 1
+        yield MutexRelease(m)
+
+    def caster():
+        yield Compute(2 * MS)  # let all waiters park
+        yield MutexAcquire(m)
+        shared["ready"] = True
+        yield CondBroadcastRequeue(cv, m)
+        yield MutexRelease(m)
+
+    for i in range(8):
+        k.spawn(waiter(i), name=f"w{i}")
+    k.spawn(caster(), name="b")
+    k.run_to_completion()
+    assert shared["woken_holding_mutex"] == 8
+    assert m.owner is None
+
+
+def test_requeue_moves_waiters_to_mutex(vanilla8):
+    k = Kernel(vanilla8)
+    m = Mutex()
+    cv = CondVar()
+
+    def waiter(i):
+        yield MutexAcquire(m)
+        yield CondWaitRequeue(cv, m)
+        yield MutexEnsure(m)
+        yield MutexRelease(m)
+
+    def caster():
+        yield Compute(2 * MS)
+        yield MutexAcquire(m)
+        yield CondBroadcastRequeue(cv, m)
+        # While we hold the mutex, the requeued waiters sit on its queue.
+        assert k.futex_waiters(cv) == 0
+        assert k.futex_waiters(m) >= 5
+        yield MutexRelease(m)
+
+    for i in range(7):
+        k.spawn(waiter(i), name=f"w{i}")
+    k.spawn(caster(), name="b")
+    k.run_to_completion()
+
+
+def test_requeue_cheaper_than_thundering_herd(vanilla1):
+    """On one core the requeue broadcast avoids waking everyone at once;
+    both complete, and the requeue version does fewer wakeups."""
+
+    def run(requeue: bool):
+        k = Kernel(vanilla_config(cores=1, seed=6))
+        m = Mutex()
+        cv = CondVar()
+        state = {"ready": False}
+
+        def waiter(i):
+            yield MutexAcquire(m)
+            while not state["ready"]:
+                if requeue:
+                    yield from cond_wait(cv, m)
+                else:
+                    # naive: unlock, sleep, relock
+                    yield MutexRelease(m)
+                    from repro.prog.actions import CondWait
+
+                    yield CondWait(cv)
+                    yield MutexAcquire(m)
+            yield MutexRelease(m)
+
+        def caster():
+            yield Compute(1 * MS)
+            yield MutexAcquire(m)
+            state["ready"] = True
+            if requeue:
+                yield CondBroadcastRequeue(cv, m)
+            else:
+                from repro.prog.actions import CondBroadcast
+
+                yield CondBroadcast(cv)
+            yield MutexRelease(m)
+
+        for i in range(12):
+            k.spawn(waiter(i), name=f"w{i}")
+        k.spawn(caster(), name="b")
+        k.run_to_completion()
+        from repro.metrics import collect
+
+        return collect(k)
+
+    herd = run(requeue=False)
+    req = run(requeue=True)
+    assert req.wakeups <= herd.wakeups
+
+
+def test_with_mutex_pattern(vanilla1):
+    k = Kernel(vanilla1)
+    m = Mutex()
+    log = []
+
+    def worker():
+        yield from with_mutex(m, Compute(10 * US))
+        log.append("done")
+
+    k.spawn(worker(), name="w")
+    k.run_to_completion()
+    assert log == ["done"]
+    assert m.owner is None
+
+
+def test_locked_patterns(vanilla8):
+    k = Kernel(vanilla8)
+    rw = RwLock()
+    done = []
+
+    def reader():
+        yield from read_locked(rw, Compute(10 * US))
+        done.append("r")
+
+    def writer():
+        yield from write_locked(rw, Compute(10 * US))
+        done.append("w")
+
+    k.spawn(reader(), name="r")
+    k.spawn(writer(), name="w")
+    k.run_to_completion()
+    assert sorted(done) == ["r", "w"]
+    assert rw.readers == 0 and rw.writer is None

@@ -1,0 +1,55 @@
+"""Kernel lock timelines and the futex table."""
+
+from __future__ import annotations
+
+from repro.kernel.futex import FutexTable
+from repro.kernel.locks import SimLockTimeline
+from repro.kernel.task import Task
+
+
+def test_uncontended_acquire_costs_hold():
+    lock = SimLockTimeline("l")
+    assert lock.acquire(now=100, hold_ns=50) == 50
+    assert lock.busy_until == 150
+    assert lock.contended_ns == 0
+
+
+def test_contended_acquire_queues():
+    lock = SimLockTimeline("l")
+    lock.acquire(0, 100)
+    # Arrives at t=30 while held until 100: waits 70, holds 50.
+    assert lock.acquire(30, 50) == 120
+    assert lock.busy_until == 150
+    assert lock.contended_ns == 70
+
+
+def test_serial_convoy():
+    lock = SimLockTimeline("l")
+    total = sum(lock.acquire(0, 10) for _ in range(5))
+    # Five acquirers at t=0 serialize: 10+20+30+40+50.
+    assert total == 150
+    assert lock.acquisitions == 5
+
+
+def test_would_wait():
+    lock = SimLockTimeline("l")
+    lock.acquire(0, 100)
+    assert lock.would_wait(40) == 60
+    assert lock.would_wait(200) == 0
+
+
+def test_futex_table_buckets_by_identity():
+    table = FutexTable()
+    obj_a, obj_b = object(), object()
+    assert table.bucket(obj_a) is table.bucket(obj_a)
+    assert table.bucket(obj_a) is not table.bucket(obj_b)
+
+
+def test_futex_waiter_count():
+    table = FutexTable()
+    obj = object()
+    assert table.waiter_count(obj) == 0
+    t = Task("w", iter(()))
+    table.bucket(obj).waiters.append(t)
+    assert table.waiter_count(obj) == 1
+    assert len(table.buckets()) == 1

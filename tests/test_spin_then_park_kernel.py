@@ -1,0 +1,142 @@
+"""Spin-then-park integration with the kernel's SPIN mode and BWD."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config import optimized_config, vanilla_config
+from repro.kernel import Kernel
+from repro.kernel.task import RunMode, TaskState
+from repro.prog.actions import Compute, MutexAcquire, MutexRelease
+from repro.sync import McsTp, Mutexee, ShflLock
+
+MS = 1_000_000
+US = 1_000
+
+
+def test_spin_window_accounted_as_spin_time(vanilla1):
+    k = Kernel(vanilla1)
+    m = McsTp("m")  # 4 us published spin window
+
+    def holder():
+        yield MutexAcquire(m)
+        yield Compute(5 * MS)
+        yield MutexRelease(m)
+
+    def waiter():
+        yield Compute(10 * US)
+        yield MutexAcquire(m)
+        yield MutexRelease(m)
+
+    k.spawn(holder(), name="h")
+    w = k.spawn(waiter(), name="w")
+    k.run_to_completion()
+    assert m.contended == 1
+    assert w.stats.spin_ns >= m.spin_window_ns
+    # Mode returned to COMPUTE after the wait resolved.
+    assert w.mode is RunMode.COMPUTE
+
+
+def test_lhp_doubles_the_spin_window():
+    """A waiter that finds the lock holder descheduled wastes a doubled
+    spin window before parking."""
+    k = Kernel(vanilla_config(cores=2, seed=1))
+    m = Mutexee("m")
+
+    def holder():
+        yield MutexAcquire(m)
+        yield Compute(8 * MS)  # preempted by the hog mid-hold
+        yield MutexRelease(m)
+
+    def hog():
+        yield Compute(20 * MS)
+
+    def waiter():
+        # Arrives at 3.5 ms: the holder was preempted at 3 ms (slice end)
+        # and is RUNNABLE behind the hog — classic LHP.
+        yield Compute(3_500 * US)
+        yield MutexAcquire(m)
+        yield MutexRelease(m)
+
+    k.spawn(holder(), name="h", pinned_cpu=0)
+    k.spawn(hog(), name="hog", pinned_cpu=0)
+    k.spawn(waiter(), name="w", pinned_cpu=1)
+    k.run_to_completion()
+    assert m.contended == 1
+    assert m.spin_ns_total == 2 * m.spin_window_ns
+
+
+def test_wake_during_spin_window_not_lost(vanilla8):
+    """A handoff landing inside the spin window is consumed: the waiter
+    never sleeps and still gets the lock."""
+    k = Kernel(vanilla8)
+    m = Mutexee("m")
+    got = []
+
+    def holder():
+        yield MutexAcquire(m)
+        yield Compute(50 * US)
+        yield MutexRelease(m)  # released while the waiter spins
+
+    def waiter():
+        yield Compute(49 * US)
+        yield MutexAcquire(m)
+        got.append(k.now)
+        yield MutexRelease(m)
+
+    k.spawn(holder(), name="h")
+    k.spawn(waiter(), name="w")
+    k.run_to_completion()
+    assert got
+
+
+def test_bwd_catches_long_spin_windows():
+    """With a window beyond the 100 us monitoring period, BWD sees the
+    spin-then-park waiter as a spinner and deschedules it."""
+    cfg = optimized_config(cores=1, seed=1, vb=False, bwd=True)
+    k = Kernel(cfg)
+    m = Mutexee("m")
+    # Configure an aggressive (pathological) spin window.
+    m.spin_window_ns = 2 * MS
+
+    def holder():
+        yield MutexAcquire(m)
+        yield Compute(20 * MS)
+        yield MutexRelease(m)
+
+    def waiter():
+        yield Compute(10 * US)
+        yield MutexAcquire(m)
+        yield MutexRelease(m)
+
+    k.spawn(holder(), name="h")
+    w = k.spawn(waiter(), name="w")
+    k.run_for(10 * MS)
+    k.shutdown()
+    assert k.bwd.stats.deschedules >= 1
+    assert w.stats.bwd_deschedules >= 1
+
+
+@pytest.mark.parametrize("lock_cls", [Mutexee, McsTp, ShflLock])
+def test_spin_then_park_still_correct_under_vb(lock_cls):
+    cfg = optimized_config(cores=2, seed=2, bwd=False)
+    k = Kernel(cfg)
+    m = lock_cls("m")
+    state = {"in": 0, "max": 0}
+
+    def worker(i):
+        for _ in range(10):
+            yield Compute(5 * US)
+            yield MutexAcquire(m)
+            state["in"] += 1
+            state["max"] = max(state["max"], state["in"])
+            yield Compute(2 * US)
+            state["in"] -= 1
+            yield MutexRelease(m)
+
+    for i in range(8):
+        k.spawn(worker(i), name=f"w{i}")
+    k.run_to_completion()
+    assert state["max"] == 1

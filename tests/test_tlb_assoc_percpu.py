@@ -1,0 +1,77 @@
+"""Set-associative TLB variant and per-CPU statistics breakdown."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import vanilla_config
+from repro.errors import ConfigError
+from repro.hw.tlb import TwoLevelTlb
+from repro.kernel import Kernel
+from repro.metrics import CpuBreakdown, collect
+from repro.prog.actions import Compute
+
+MS = 1_000_000
+
+
+def test_set_assoc_tlb_basic():
+    t = TwoLevelTlb(l1_entries=8, l2_entries=32, assoc=4)
+    assert t.access(0) == "walk"
+    assert t.access(100) == "l1"
+    assert t.reach_l1() == 8 * 4096
+
+
+def test_set_assoc_validation():
+    with pytest.raises(ConfigError):
+        TwoLevelTlb(l1_entries=10, l2_entries=32, assoc=4)  # not a multiple
+
+
+def test_conflict_misses_appear_only_with_sets():
+    """Pages that map to one set thrash a set-associative TLB while a
+    fully-associative one holds them all."""
+    fa = TwoLevelTlb(l1_entries=8, l2_entries=64)
+    sa = TwoLevelTlb(l1_entries=8, l2_entries=64, assoc=2)
+    # 6 pages, all congruent mod num_sets(=4) for the SA level: stride 4.
+    pages = [i * 4 for i in range(6)]
+    for _ in range(20):
+        for p in pages:
+            fa.access(p * 4096)
+            sa.access(p * 4096)
+    assert fa.l1_hits / fa.accesses > 0.9  # 6 <= 8: fits fully-assoc
+    assert sa.l1_hits / sa.accesses < 0.5  # 6 > 2 ways: set thrash
+
+
+def test_set_assoc_matches_fully_assoc_on_uniform_random():
+    """For uniform random pages, the approximation error is small —
+    the justification for the memory model's reach arithmetic."""
+    rng = np.random.default_rng(3)
+    fa = TwoLevelTlb(l1_entries=64, l2_entries=256)
+    sa = TwoLevelTlb(l1_entries=64, l2_entries=256, assoc=4)
+    pages = rng.integers(0, 128, size=20_000)
+    for p in pages:
+        fa.access(int(p) * 4096)
+        sa.access(int(p) * 4096)
+    fa_rate = fa.l1_hits / fa.accesses
+    sa_rate = sa.l1_hits / sa.accesses
+    assert abs(fa_rate - sa_rate) < 0.12
+
+
+def test_per_cpu_breakdown_sums_to_totals():
+    k = Kernel(vanilla_config(cores=4, seed=2))
+
+    def w():
+        yield Compute(5 * MS)
+
+    for i in range(8):
+        k.spawn(w(), name=f"t{i}")
+    k.run_to_completion()
+    stats = collect(k)
+    assert len(stats.per_cpu) == 4
+    assert all(isinstance(c, CpuBreakdown) for c in stats.per_cpu)
+    busy = sum(c.busy_ns for c in stats.per_cpu)
+    assert busy >= 8 * 5 * MS
+    for c in stats.per_cpu:
+        assert 0.0 <= c.utilization_pct(stats.wall_ns) <= 100.0
+    summed = sum(c.utilization_pct(stats.wall_ns) for c in stats.per_cpu)
+    assert summed == pytest.approx(stats.cpu_utilization_pct, rel=0.01)

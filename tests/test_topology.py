@@ -1,0 +1,82 @@
+"""Topology construction and NUMA queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import HardwareConfig
+from repro.errors import TopologyError
+from repro.hw.topology import Topology
+
+
+def test_full_machine_size(small_hw):
+    t = Topology(small_hw)
+    assert len(t) == small_hw.total_cpus == 8
+
+
+def test_online_subset(small_hw):
+    t = Topology(small_hw, online_cpus=4)
+    assert len(t) == 4
+    assert [c.cpu_id for c in t.cpus] == [0, 1, 2, 3]
+
+
+def test_spread_policy_alternates_sockets(small_hw):
+    t = Topology(small_hw, online_cpus=4, policy="spread")
+    sockets = [c.socket_id for c in t.cpus]
+    assert sockets == [0, 1, 0, 1]
+
+
+def test_pack_policy_fills_socket_first(small_hw):
+    t = Topology(small_hw, online_cpus=4, policy="pack")
+    assert all(c.socket_id == 0 for c in t.cpus)
+
+
+def test_same_node(small_hw):
+    t = Topology(small_hw, online_cpus=4, policy="spread")
+    assert t.same_node(0, 2)
+    assert not t.same_node(0, 1)
+
+
+def test_smt_siblings():
+    hw = HardwareConfig(sockets=1, cores_per_socket=2, smt=2)
+    t = Topology(hw)
+    assert t.smt_sibling(0) == 1
+    assert t.smt_sibling(1) == 0
+    assert t.smt_sibling(2) == 3
+
+
+def test_no_smt_sibling_when_smt1(small_hw):
+    t = Topology(small_hw)
+    assert t.smt_sibling(0) is None
+
+
+def test_smt_sibling_requires_both_online():
+    hw = HardwareConfig(sockets=1, cores_per_socket=4, smt=2)
+    t = Topology(hw, online_cpus=3)  # cpu3 (sibling of cpu2) offline
+    assert t.smt_sibling(2) is None
+    assert t.smt_sibling(0) == 1
+
+
+def test_nodes_and_cpus_on_node(small_hw):
+    t = Topology(small_hw, online_cpus=6, policy="spread")
+    assert t.nodes() == [0, 1]
+    assert t.cpus_on_node(0) == [0, 2, 4]
+    assert t.cpus_on_node(1) == [1, 3, 5]
+
+
+def test_invalid_requests(small_hw):
+    with pytest.raises(TopologyError):
+        Topology(small_hw, online_cpus=0)
+    with pytest.raises(TopologyError):
+        Topology(small_hw, online_cpus=99)
+    with pytest.raises(TopologyError):
+        Topology(small_hw, policy="nope")
+
+
+def test_smt_groups_consecutive():
+    hw = HardwareConfig(sockets=2, cores_per_socket=2, smt=2)
+    t = Topology(hw, online_cpus=4, policy="spread")
+    # First core group = (core on socket 0), both hyperthreads, then socket 1.
+    assert (t.cpus[0].core_id, t.cpus[0].smt_id) == (0, 0)
+    assert (t.cpus[1].core_id, t.cpus[1].smt_id) == (0, 1)
+    assert t.cpus[2].socket_id == 1

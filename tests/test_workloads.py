@@ -1,0 +1,239 @@
+"""Workload layer: profiles, program builders, microbenches, memcached."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import optimized_config, vanilla_config
+from repro.workloads import (
+    SUITE,
+    Group,
+    SyncKind,
+    build_programs,
+    fig9_profiles,
+    profile,
+    profiles_in_group,
+    run_suite_benchmark,
+)
+from repro.workloads.memcached import MemcachedConfig, memcached_run
+from repro.workloads.microbench import (
+    direct_cost_per_switch_ns,
+    direct_cost_run,
+    primitive_stress_run,
+)
+from repro.workloads.pipeline import spin_pipeline_run
+from repro.workloads.spindetect import false_positive_probe, true_positive_probe
+
+MS = 1_000_000
+
+
+# ---------------------------------------------------------------------
+# Profiles
+# ---------------------------------------------------------------------
+def test_suite_has_32_benchmarks():
+    assert len(SUITE) == 32
+
+
+def test_suite_covers_all_suites():
+    assert {p.suite for p in SUITE.values()} == {"parsec", "splash2", "npb"}
+
+
+def test_fig9_set_matches_paper():
+    names = [p.name for p in fig9_profiles()]
+    assert names == [
+        "fluidanimate", "freqmine", "streamcluster", "lu_cb", "ocean",
+        "radix", "is", "cg", "mg", "ft", "sp", "bt", "ua",
+    ]
+    assert all(p.in_fig9 for p in fig9_profiles())
+
+
+def test_spinning_group_is_lu_and_volrend():
+    spinning = {p.name for p in profiles_in_group(Group.SUFFER_SPINNING)}
+    assert spinning == {"lu", "volrend"}
+
+
+def test_profile_lookup_errors():
+    with pytest.raises(KeyError):
+        profile("nope")
+
+
+def test_facesim_has_paper_minimum_interval():
+    assert profile("facesim").sync_interval_us == 160
+
+
+# ---------------------------------------------------------------------
+# Program construction
+# ---------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "name", ["ep", "streamcluster", "fluidanimate", "facesim", "lu", "dedup"]
+)
+def test_build_programs_thread_count(name):
+    built = build_programs(SUITE[name], 8, seed=1)
+    assert len(built.programs) == 8
+    names = [n for n, _ in built.programs]
+    assert len(set(names)) == 8
+
+
+def test_build_rejects_zero_threads():
+    with pytest.raises(ValueError):
+        build_programs(SUITE["ep"], 0)
+
+
+def test_strong_scaling_total_work_constant():
+    """8T and 32T runs of the same profile do the same program work.
+
+    ``total_cpu_ns`` also counts kernel-path time (futex calls, wake
+    processing, migration stalls), which grows with oversubscription —
+    so the embarrassingly-parallel profile must match tightly, and the
+    barrier-heavy one may only *grow* with thread count.
+    """
+    ep = SUITE["ep"]
+    a = run_suite_benchmark(ep, 8, vanilla_config(cores=8, seed=3),
+                            work_scale=0.3)
+    b = run_suite_benchmark(ep, 32, vanilla_config(cores=8, seed=3),
+                            work_scale=0.3)
+    assert a.stats.total_cpu_ns == pytest.approx(b.stats.total_cpu_ns, rel=0.03)
+
+    sc = SUITE["streamcluster"]
+    a = run_suite_benchmark(sc, 8, vanilla_config(cores=8, seed=3),
+                            work_scale=0.3)
+    b = run_suite_benchmark(sc, 32, vanilla_config(cores=8, seed=3),
+                            work_scale=0.3)
+    assert b.stats.total_cpu_ns >= a.stats.total_cpu_ns * 0.95
+    assert b.stats.total_cpu_ns <= a.stats.total_cpu_ns * 1.6
+
+
+def test_spin_profile_tags_exec_profile():
+    built = build_programs(SUITE["lu"], 4, seed=1)
+    assert not built.exec_profile.spin_uses_pause
+    assert "flags" in built.shared
+
+
+def test_mutex_factory_substitution():
+    from repro.sync import Mutexee
+
+    prof = SUITE["dedup"]  # MUTEX_LOOP kind
+    built = build_programs(
+        prof, 4, seed=1, mutex_factory=lambda n: Mutexee(n)
+    )
+    assert all(isinstance(m, Mutexee) for m in built.shared["locks"])
+
+
+def test_run_suite_benchmark_completes_and_reports():
+    prof = SUITE["is"]
+    run = run_suite_benchmark(
+        prof, 8, vanilla_config(cores=8, seed=5), work_scale=0.3
+    )
+    assert run.duration_ns > 0
+    assert run.cores == 8
+    assert run.nthreads == 8
+    assert run.stats.blocks > 0
+
+
+def test_pinned_run():
+    prof = SUITE["ep"]
+    run = run_suite_benchmark(
+        prof, 16, vanilla_config(cores=4, seed=5), work_scale=0.2, pinned=True
+    )
+    assert run.duration_ns > 0
+    assert run.stats.total_migrations == 0  # pinned tasks never move
+
+
+# ---------------------------------------------------------------------
+# Micro-benchmarks
+# ---------------------------------------------------------------------
+def test_direct_cost_is_about_1500ns():
+    cost = direct_cost_per_switch_ns(vanilla_config(cores=1, seed=1), 4)
+    assert 1_000 <= cost <= 2_200
+
+
+def test_direct_cost_overhead_small():
+    """Paper: ~0.2% total overhead from yielding every 750 us."""
+    cfg = vanilla_config(cores=1, seed=1)
+    one = direct_cost_run(cfg, 1, total_work_ms=20)
+    eight = direct_cost_run(cfg, 8, total_work_ms=20)
+    assert eight.duration_ns / one.duration_ns < 1.01
+
+
+def test_atomic_contention_no_extra_overhead_single_core():
+    """Figure 2(b): oversubscription adds no contention on one core."""
+    cfg = vanilla_config(cores=1, seed=1)
+    one = direct_cost_run(cfg, 1, total_work_ms=20, atomic=True)
+    eight = direct_cost_run(cfg, 8, total_work_ms=20, atomic=True)
+    assert eight.duration_ns / one.duration_ns < 1.02
+
+
+def test_primitive_stress_unknown_primitive():
+    with pytest.raises(ValueError):
+        primitive_stress_run(vanilla_config(cores=1), "rwlock")
+
+
+def test_vb_speedup_ordering_matches_paper():
+    """Figure 10(a): cond > barrier > mutex (~1) on a single core."""
+    van = vanilla_config(cores=1, seed=6)
+    opt = optimized_config(cores=1, seed=6, bwd=False)
+    speedups = {}
+    for prim in ("mutex", "cond", "barrier"):
+        v = primitive_stress_run(van, prim, 32, iterations=400)
+        o = primitive_stress_run(opt, prim, 32, iterations=400)
+        speedups[prim] = v.duration_ns / o.duration_ns
+    assert speedups["cond"] > speedups["barrier"] > speedups["mutex"]
+    assert speedups["mutex"] < 1.3
+    assert speedups["barrier"] > 1.1
+
+
+# ---------------------------------------------------------------------
+# Pipeline + detection probes
+# ---------------------------------------------------------------------
+def test_pipeline_strong_scaling_iterations():
+    r8 = spin_pipeline_run(
+        vanilla_config(cores=8, seed=2), "ttas", 8, total_stages=160
+    )
+    assert r8.duration_ns > 0
+    assert r8.stats.total_spin_ns >= 0
+
+
+def test_tp_probe_requires_bwd():
+    with pytest.raises(ValueError):
+        true_positive_probe(vanilla_config(cores=1), "mcs")
+
+
+def test_tp_probe_high_sensitivity():
+    cfg = optimized_config(cores=1, seed=2, vb=False, bwd=True)
+    r = true_positive_probe(cfg, "ticket", duration_ms=150)
+    assert r.tries > 10
+    assert r.sensitivity > 0.9
+
+
+def test_fp_probe_blocking_benchmark():
+    r = false_positive_probe(SUITE["ft"], work_scale=0.3)
+    assert r.specificity > 0.98
+    assert r.timer_overhead_pct < 3.0  # the paper's <3% claim
+
+
+# ---------------------------------------------------------------------
+# Memcached
+# ---------------------------------------------------------------------
+def test_memcached_completes_requests():
+    r = memcached_run(
+        vanilla_config(cores=4, seed=8),
+        MemcachedConfig(workers=4, connections=16),
+        duration_ms=60,
+        warmup_ms=10,
+    )
+    assert r.completed > 100
+    assert r.throughput_ops > 0
+    s = r.latency_summary()
+    assert s.p99 >= s.p95 >= s.p50 > 0
+
+
+def test_memcached_vb_improves_oversubscribed_tails():
+    mc = MemcachedConfig(workers=16)
+    van = memcached_run(
+        vanilla_config(cores=4, seed=8), mc, duration_ms=120
+    )
+    opt = memcached_run(
+        optimized_config(cores=4, seed=8, bwd=False), mc, duration_ms=120
+    )
+    assert opt.latency_summary().p99 < van.latency_summary().p99
+    assert opt.throughput_ops > van.throughput_ops
