@@ -3,203 +3,39 @@
 
 Usage::
 
-    python benchmarks/run_all.py [--scale 1.0] [--quick]
+    python benchmarks/run_all.py [--scale 1.0] [--quick] [--jobs N]
+                                 [--no-cache] [--cache-dir DIR]
+                                 [--results FILE] [--seed N]
 
-Prints each experiment's reproduced rows next to the paper's reported
-values where the paper gives numbers.  ``--quick`` shrinks workloads for a
-fast smoke pass; the default takes several minutes.
+Every data point (app x thread-count x kernel-mode x core-count) is an
+independent deterministic simulation, so the report fans them out across a
+process pool (``--jobs``, default ``os.cpu_count()``) and caches each
+result under ``.repro-cache/`` keyed on (config, seed, repro version).
+Output is byte-identical for a fixed seed regardless of ``--jobs`` or
+cache state; a warm-cache re-run executes zero simulations.
+
+``--quick`` is a *default* for ``--scale`` (0.3): an explicit ``--scale``
+always wins, with a warning when both are given.  A machine-readable
+``results.json`` artifact is written alongside the printed tables.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-import time
 
-from repro.runners import figures, format_table
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
 
-KB = 1024
-MB = 1024 * KB
-
-
-def banner(title: str) -> None:
-    print()
-    print("=" * 72)
-    print(title)
-    print("=" * 72)
+from repro.runners.full_report import add_report_flags, main_from_args
 
 
-def main() -> int:
-    ap = argparse.ArgumentParser()
-    ap.add_argument("--scale", type=float, default=1.0)
-    ap.add_argument("--quick", action="store_true")
-    args = ap.parse_args()
-    scale = 0.3 if args.quick else args.scale
-    t0 = time.time()
-
-    banner("Figure 1 — suite overview (32T vs 8T on 8 cores, vanilla)")
-    rows = figures.fig01_overview(work_scale=scale)
-    print(format_table(
-        ["benchmark", "group", "32T/8T (sim)", "32T/8T (paper)"],
-        [[r.name, r.group, r.ratio, r.paper_ratio] for r in rows],
-    ))
-
-    banner("Figure 2 — direct context-switch cost")
-    f2, per_switch = figures.fig02_direct_cost()
-    print(format_table(
-        ["threads", "pure (norm)", "atomic (norm)"],
-        [[r.nthreads, r.pure_normalized, r.atomic_normalized] for r in f2],
-        float_fmt="{:.4f}",
-    ))
-    print(f"per-switch cost: {per_switch:.0f} ns (paper: ~1500 ns)")
-
-    banner("Figure 3 — interval between synchronizations")
-    f3 = figures.fig03_sync_intervals(work_scale=min(scale, 0.5))
-    print(format_table(["bucket (us)", "# programs"], figures.fig03_histogram(f3)))
-
-    banner("Figure 4 — indirect cost per context switch (us)")
-    f4 = figures.fig04_indirect_cost()
-    sizes = [s for s, _ in f4["seq-r"]]
-    print(format_table(
-        ["size"] + list(f4),
-        [
-            [f"{s // KB}KB" if s < MB else f"{s // MB}MB"]
-            + [dict(f4[p])[s] / 1000 for p in f4]
-            for s in sizes
-        ],
-        float_fmt="{:.1f}",
-    ))
-
-    banner("Figure 9 / Table 1 — virtual blocking on blocking benchmarks")
-    f9 = figures.fig09_vb_applications(work_scale=scale)
-    print(format_table(
-        ["app", "32T/8T vanilla", "32T/8T optimized", "util 8T/32T/Opt",
-         "in-migr 8T/32T/Opt", "x-migr 8T/32T/Opt"],
-        [
-            [
-                r.name, r.vanilla_ratio, r.optimized_ratio,
-                f"{r.util_8t:.0f}/{r.util_32t:.0f}/{r.util_opt:.0f}",
-                f"{r.migr_in_8t}/{r.migr_in_32t}/{r.migr_in_opt}",
-                f"{r.migr_cross_8t}/{r.migr_cross_32t}/{r.migr_cross_opt}",
-            ]
-            for r in f9
-        ],
-    ))
-
-    banner("Figure 10 — VB on pthreads primitives")
-    part_a, part_b = figures.fig10_primitives(iterations=1000)
-    print(format_table(
-        ["primitive", "threads", "speedup (1 core)"],
-        [[r.primitive, r.nthreads, r.speedup] for r in part_a],
-    ))
-    print(format_table(
-        ["primitive", "cores", "speedup (32 threads)"],
-        [[r.primitive, r.cores, r.speedup] for r in part_b],
-    ))
-
-    banner("Figure 11 — CPU elasticity (execution time, ms)")
-    f11 = figures.fig11_elasticity(work_scale=min(scale, 0.5))
-    by = {}
-    for p in f11:
-        by.setdefault(p.app, {})[(p.cores, p.setting)] = p.duration_ns
-    for app, d in by.items():
-        print(format_table(
-            ["cores", "#core-T", "8T", "32T", "32T pin", "32T opt"],
-            [
-                [c] + [
-                    "crash" if d[(c, s)] is None else f"{d[(c, s)] / 1e6:.1f}"
-                    for s in ("#core-T(vanilla)", "8T(vanilla)",
-                              "32T(vanilla)", "32T(pinned)",
-                              "32T(optimized)")
-                ]
-                for c in (2, 4, 8, 16, 32)
-            ],
-            title=app,
-        ))
-
-    banner("Figure 12 — memcached")
-    f12 = figures.fig12_memcached(duration_ms=400)
-    print(format_table(
-        ["cores", "setting", "kops/s", "avg us", "p95 us", "p99 us"],
-        [
-            [r.cores, r.setting, r.throughput_ops / 1e3,
-             r.latency.mean, r.latency.p95, r.latency.p99]
-            for r in f12
-        ],
-        float_fmt="{:.1f}",
-    ))
-
-    banner("Figure 13 — ten spinlocks (execution time, ms)")
-    f13 = figures.fig13_spinlocks()
-    by13 = {}
-    for r in f13:
-        by13.setdefault((r.environment, r.algorithm), {})[r.setting] = r.duration_ns
-    for env in ("container", "kvm"):
-        settings = ["8T(vanilla)", "32T(vanilla)"]
-        if env == "kvm":
-            settings.append("32T(PLE)")
-        settings.append("32T(optimized)")
-        print(format_table(
-            ["lock"] + settings,
-            [
-                [alg] + [by13[(env, alg)][s] / 1e6 for s in settings]
-                for alg in figures.SPINLOCK_ORDER
-            ],
-            title=env,
-            float_fmt="{:.1f}",
-        ))
-
-    banner("Figure 14 — user-customized spinning (ms)")
-    f14 = figures.fig14_custom_spin(work_scale=min(scale, 0.5))
-    by14 = {}
-    for r in f14:
-        by14.setdefault((r.app, r.environment), {})[(r.nthreads, r.setting)] = r.duration_ns
-    for (app, env), d in by14.items():
-        print(format_table(
-            ["threads", "vanilla", "PLE", "optimized"],
-            [
-                [n] + [
-                    "n/a" if d.get((n, s)) is None else f"{d[(n, s)] / 1e6:.1f}"
-                    for s in ("vanilla", "PLE", "optimized")
-                ]
-                for n in (8, 16, 32)
-            ],
-            title=f"{app} ({env})",
-        ))
-
-    banner("Figure 15 — vs SHFLLOCK / Mutexee / MCS-TP (normalized)")
-    f15 = figures.fig15_lock_comparison(work_scale=min(scale, 0.5))
-    by15 = {}
-    for r in f15:
-        by15.setdefault(r.app, {})[r.lock] = r.duration_ns
-    print(format_table(
-        ["app", "pthread", "mutexee", "mcstp", "shfllock", "optimized"],
-        [
-            [app] + [d[k] / d["optimized"] for k in
-                     ("pthread", "mutexee", "mcstp", "shfllock", "optimized")]
-            for app, d in by15.items()
-        ],
-    ))
-
-    banner("Table 2 — BWD sensitivity")
-    t2 = figures.table2_true_positive(duration_ms=1_000 if args.quick else 4_000)
-    print(format_table(
-        ["spinlock", "# tries", "# TPs", "sensitivity %"],
-        [[r.algorithm, r.tries, r.true_positives, r.sensitivity * 100]
-         for r in t2],
-    ))
-
-    banner("Table 3 — BWD specificity and overhead")
-    t3 = figures.table3_false_positive(work_scale=scale)
-    print(format_table(
-        ["app", "# tries", "# FPs", "specificity %", "FP overhead %",
-         "timer overhead %"],
-        [[r.name, r.tries, r.false_positives, r.specificity * 100,
-          r.overhead_pct, r.timer_overhead_pct] for r in t3],
-    ))
-
-    print(f"\ntotal wall time: {time.time() - t0:.1f}s")
-    return 0
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    add_report_flags(ap)
+    return main_from_args(ap.parse_args(argv))
 
 
 if __name__ == "__main__":

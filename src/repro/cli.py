@@ -3,6 +3,7 @@
 Examples::
 
     python -m repro list
+    python -m repro all --quick --jobs 4
     python -m repro fig01 --scale 0.5
     python -m repro fig12 --duration-ms 300
     python -m repro table2
@@ -247,6 +248,12 @@ def cmd_table3(args) -> int:
     return 0
 
 
+def cmd_all(args) -> int:
+    from .runners.full_report import main_from_args
+
+    return main_from_args(args)
+
+
 def cmd_ablations(args) -> int:
     for rows, key in ((ab.vb_ablation(seed=args.seed), "full VB"),
                       (ab.bwd_ablation(seed=args.seed), "full BWD")):
@@ -343,6 +350,15 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list the modeled benchmarks").set_defaults(
         fn=cmd_list
     )
+
+    p = sub.add_parser(
+        "all",
+        help="regenerate every figure/table via the parallel cached runner",
+    )
+    from .runners.full_report import add_report_flags
+
+    add_report_flags(p)
+    p.set_defaults(fn=cmd_all)
 
     simple = {
         "fig01": (cmd_fig01, True), "fig02": (cmd_fig02, False),

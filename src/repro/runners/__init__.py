@@ -1,6 +1,9 @@
 """Experiment drivers that regenerate every table and figure."""
 
-from . import ablations, adaptation, figures
+from . import ablations, adaptation, figures, full_report, parallel
 from .report import format_table
 
-__all__ = ["ablations", "adaptation", "figures", "format_table"]
+__all__ = [
+    "ablations", "adaptation", "figures", "full_report", "parallel",
+    "format_table",
+]

@@ -1,0 +1,820 @@
+"""Full-fidelity report on top of the parallel runner.
+
+Decomposes every figure/table of the paper into independent
+:class:`~repro.runners.parallel.ExperimentSpec`s, fans them out through a
+:class:`~repro.runners.parallel.ParallelRunner`, and renders the same
+tables the serial ``benchmarks/run_all.py`` printed — byte-identical for a
+fixed seed regardless of ``--jobs`` or cache state, because results are
+merged in spec order and every simulation is deterministic.
+
+Both ``benchmarks/run_all.py`` and ``python -m repro all`` are thin
+wrappers over :func:`run_full_report`; :func:`add_report_flags` keeps
+their flag sets identical.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable, TextIO
+
+from .. import __version__
+from ..hw.memmodel import AccessPattern
+from ..metrics.stats import LatencySummary
+from ..workloads.profiles import SUITE, SyncKind, fig9_profiles
+from . import figures
+from .figures import (
+    FIG11_APPS,
+    FIG15_APPS,
+    SPINLOCK_ORDER,
+    TABLE3_APPS,
+    Fig1Row,
+    Fig2Row,
+    Fig3Row,
+    Fig9Row,
+    Fig10Row,
+    Fig11Point,
+)
+from .parallel import (
+    DEFAULT_CACHE_DIR,
+    DEFAULT_TIMEOUT_S,
+    ExperimentSpec,
+    ParallelRunner,
+    optimized_desc,
+    ple_desc,
+    suite_opt_desc,
+    vanilla_desc,
+)
+from .report import format_table
+
+KB = 1024
+MB = 1024 * KB
+
+QUICK_SCALE = 0.3
+
+FIG04_SIZES = [
+    64 * KB, 128 * KB, 256 * KB, 512 * KB, 1 * MB, 2 * MB, 4 * MB,
+    8 * MB, 16 * MB, 32 * MB, 64 * MB, 128 * MB,
+]
+
+
+def resolve_scale(scale: float | None, quick: bool,
+                  warn: TextIO | None = None) -> float:
+    """``--quick`` is only a *default* for the workload scale.
+
+    An explicit ``--scale`` always wins; passing both is flagged as a
+    conflict (previously ``--quick`` silently discarded the user's
+    ``--scale``).
+    """
+    if scale is not None:
+        if quick and scale != QUICK_SCALE and warn is not None:
+            print(
+                f"warning: --scale {scale} overrides the --quick default "
+                f"({QUICK_SCALE})",
+                file=warn,
+            )
+        return scale
+    return QUICK_SCALE if quick else 1.0
+
+
+@dataclass(frozen=True)
+class ReportParams:
+    scale: float
+    quick: bool
+    seed: int = 2021
+
+
+# =====================================================================
+# Sections: spec builder + renderer per figure/table
+# =====================================================================
+def _specs_fig01(p: ReportParams) -> list[ExperimentSpec]:
+    return [
+        ExperimentSpec(
+            id=f"fig01/{name}/{n}T",
+            runner="suite_point",
+            params={"name": name, "nthreads": n,
+                    "config": vanilla_desc(8, p.seed),
+                    "work_scale": p.scale},
+            seed=p.seed,
+        )
+        for name in SUITE
+        for n in (8, 32)
+    ]
+
+
+def _render_fig01(p: ReportParams, res: dict, out: TextIO) -> None:
+    rows = [
+        Fig1Row(
+            name=name,
+            group=SUITE[name].group.value,
+            t8_ns=res[f"fig01/{name}/8T"]["duration_ns"],
+            t32_ns=res[f"fig01/{name}/32T"]["duration_ns"],
+            paper_ratio=SUITE[name].fig1_expected,
+        )
+        for name in SUITE
+    ]
+    print(format_table(
+        ["benchmark", "group", "32T/8T (sim)", "32T/8T (paper)"],
+        [[r.name, r.group, r.ratio, r.paper_ratio] for r in rows],
+    ), file=out)
+
+
+def _specs_fig02(p: ReportParams) -> list[ExperimentSpec]:
+    cfg = vanilla_desc(1, p.seed)
+    specs = [
+        ExperimentSpec(
+            id=f"fig02/{n}T/{'atomic' if atomic else 'pure'}",
+            runner="direct_cost",
+            params={"nthreads": n, "config": cfg,
+                    "total_work_ms": 30.0, "atomic": atomic},
+            seed=p.seed,
+        )
+        for n in range(1, 9)
+        for atomic in (False, True)
+    ]
+    specs.append(ExperimentSpec(
+        id="fig02/per_switch",
+        runner="per_switch",
+        params={"nthreads": 8, "config": cfg},
+        seed=p.seed,
+    ))
+    return specs
+
+
+def _render_fig02(p: ReportParams, res: dict, out: TextIO) -> None:
+    pure1 = res["fig02/1T/pure"]["duration_ns"]
+    atomic1 = res["fig02/1T/atomic"]["duration_ns"]
+    rows = []
+    for n in range(1, 9):
+        pure = res[f"fig02/{n}T/pure"]["duration_ns"]
+        atomic = res[f"fig02/{n}T/atomic"]["duration_ns"]
+        rows.append(Fig2Row(
+            nthreads=n, pure_ns=pure, atomic_ns=atomic,
+            pure_normalized=pure / pure1,
+            atomic_normalized=atomic / atomic1,
+        ))
+    print(format_table(
+        ["threads", "pure (norm)", "atomic (norm)"],
+        [[r.nthreads, r.pure_normalized, r.atomic_normalized] for r in rows],
+        float_fmt="{:.4f}",
+    ), file=out)
+    per_switch = res["fig02/per_switch"]["per_switch_ns"]
+    print(f"per-switch cost: {per_switch:.0f} ns (paper: ~1500 ns)", file=out)
+
+
+def _fig03_names() -> list[str]:
+    return [name for name, prof in SUITE.items()
+            if prof.kind is not SyncKind.SPIN_WAVEFRONT]
+
+
+def _specs_fig03(p: ReportParams) -> list[ExperimentSpec]:
+    return [
+        ExperimentSpec(
+            id=f"fig03/{name}",
+            runner="suite_point",
+            params={"name": name, "nthreads": SUITE[name].optimal_threads,
+                    "config": vanilla_desc(32, p.seed),
+                    "work_scale": min(p.scale, 0.5)},
+            seed=p.seed,
+        )
+        for name in _fig03_names()
+    ]
+
+
+def _render_fig03(p: ReportParams, res: dict, out: TextIO) -> None:
+    rows = []
+    for name in _fig03_names():
+        stats = res[f"fig03/{name}"]["stats"]
+        blocks = max(1, stats["blocks"])
+        rows.append(Fig3Row(
+            name=name, interval_us=stats["total_cpu_ns"] / blocks / 1e3,
+        ))
+    print(format_table(
+        ["bucket (us)", "# programs"], figures.fig03_histogram(rows),
+    ), file=out)
+
+
+def _specs_fig04(p: ReportParams) -> list[ExperimentSpec]:
+    return [
+        ExperimentSpec(
+            id=f"fig04/{pattern.value}",
+            runner="indirect_cost",
+            params={"pattern": pattern.value, "sizes_bytes": FIG04_SIZES,
+                    "nthreads": 2},
+            seed=p.seed,
+        )
+        for pattern in AccessPattern
+    ]
+
+
+def _render_fig04(p: ReportParams, res: dict, out: TextIO) -> None:
+    f4 = {
+        pattern.value: [tuple(pair) for pair in
+                        res[f"fig04/{pattern.value}"]["series"]]
+        for pattern in AccessPattern
+    }
+    sizes = [s for s, _ in f4["seq-r"]]
+    print(format_table(
+        ["size"] + list(f4),
+        [
+            [f"{s // KB}KB" if s < MB else f"{s // MB}MB"]
+            + [dict(f4[pat])[s] / 1000 for pat in f4]
+            for s in sizes
+        ],
+        float_fmt="{:.1f}",
+    ), file=out)
+
+
+_FIG09_SETTINGS = ("8T", "32T", "opt")
+
+
+def _specs_fig09(p: ReportParams) -> list[ExperimentSpec]:
+    specs = []
+    for prof in fig9_profiles():
+        van = vanilla_desc(8, p.seed)
+        opt = suite_opt_desc(prof.name, 8, p.seed)
+        for label, nthreads, cfg in (
+            ("8T", 8, van), ("32T", 32, van), ("opt", 32, opt),
+        ):
+            specs.append(ExperimentSpec(
+                id=f"fig09/{prof.name}/{label}",
+                runner="suite_point",
+                params={"name": prof.name, "nthreads": nthreads,
+                        "config": cfg, "work_scale": p.scale},
+                seed=p.seed,
+            ))
+    return specs
+
+
+def _render_fig09(p: ReportParams, res: dict, out: TextIO) -> None:
+    rows = []
+    for prof in fig9_profiles():
+        r = {label: res[f"fig09/{prof.name}/{label}"]
+             for label in _FIG09_SETTINGS}
+        s8, s32, sop = (r[k]["stats"] for k in _FIG09_SETTINGS)
+        rows.append(Fig9Row(
+            name=prof.name,
+            smt=False,
+            t8_vanilla_ns=r["8T"]["duration_ns"],
+            t32_vanilla_ns=r["32T"]["duration_ns"],
+            t32_optimized_ns=r["opt"]["duration_ns"],
+            util_8t=s8["cpu_utilization_pct"],
+            util_32t=s32["cpu_utilization_pct"],
+            util_opt=sop["cpu_utilization_pct"],
+            migr_in_8t=s8["migrations_in_node"],
+            migr_in_32t=s32["migrations_in_node"],
+            migr_in_opt=sop["migrations_in_node"],
+            migr_cross_8t=s8["migrations_cross_node"],
+            migr_cross_32t=s32["migrations_cross_node"],
+            migr_cross_opt=sop["migrations_cross_node"],
+        ))
+    print(format_table(
+        ["app", "32T/8T vanilla", "32T/8T optimized", "util 8T/32T/Opt",
+         "in-migr 8T/32T/Opt", "x-migr 8T/32T/Opt"],
+        [
+            [
+                r.name, r.vanilla_ratio, r.optimized_ratio,
+                f"{r.util_8t:.0f}/{r.util_32t:.0f}/{r.util_opt:.0f}",
+                f"{r.migr_in_8t}/{r.migr_in_32t}/{r.migr_in_opt}",
+                f"{r.migr_cross_8t}/{r.migr_cross_32t}/{r.migr_cross_opt}",
+            ]
+            for r in rows
+        ],
+    ), file=out)
+
+
+_FIG10_PRIMS = ("mutex", "cond", "barrier")
+_FIG10_COUNTS = (1, 2, 4, 8, 16, 32)
+_FIG10_ITERS = 1_000
+
+
+def _specs_fig10(p: ReportParams) -> list[ExperimentSpec]:
+    specs = []
+    for prim in _FIG10_PRIMS:
+        for n in _FIG10_COUNTS:  # part (a): varying threads on one core
+            for variant, cfg in (
+                ("van", vanilla_desc(1, p.seed)),
+                ("opt", optimized_desc(1, p.seed, bwd=False)),
+            ):
+                specs.append(ExperimentSpec(
+                    id=f"fig10a/{prim}/{n}T/{variant}",
+                    runner="primitive",
+                    params={"primitive": prim, "nthreads": n, "config": cfg,
+                            "iterations": _FIG10_ITERS},
+                    seed=p.seed,
+                ))
+        for c in _FIG10_COUNTS:  # part (b): 32 threads on varying cores
+            for variant, cfg in (
+                ("van", vanilla_desc(c, p.seed)),
+                ("opt", optimized_desc(c, p.seed, bwd=False)),
+            ):
+                specs.append(ExperimentSpec(
+                    id=f"fig10b/{prim}/{c}c/{variant}",
+                    runner="primitive",
+                    params={"primitive": prim, "nthreads": 32, "config": cfg,
+                            "iterations": _FIG10_ITERS},
+                    seed=p.seed,
+                ))
+    return specs
+
+
+def _render_fig10(p: ReportParams, res: dict, out: TextIO) -> None:
+    part_a = [
+        Fig10Row(prim, n, 1,
+                 res[f"fig10a/{prim}/{n}T/van"]["duration_ns"],
+                 res[f"fig10a/{prim}/{n}T/opt"]["duration_ns"])
+        for prim in _FIG10_PRIMS for n in _FIG10_COUNTS
+    ]
+    part_b = [
+        Fig10Row(prim, 32, c,
+                 res[f"fig10b/{prim}/{c}c/van"]["duration_ns"],
+                 res[f"fig10b/{prim}/{c}c/opt"]["duration_ns"])
+        for prim in _FIG10_PRIMS for c in _FIG10_COUNTS
+    ]
+    print(format_table(
+        ["primitive", "threads", "speedup (1 core)"],
+        [[r.primitive, r.nthreads, r.speedup] for r in part_a],
+    ), file=out)
+    print(format_table(
+        ["primitive", "cores", "speedup (32 threads)"],
+        [[r.primitive, r.cores, r.speedup] for r in part_b],
+    ), file=out)
+
+
+_FIG11_CORES = (2, 4, 8, 16, 32)
+_FIG11_SETTINGS = ("#core-T(vanilla)", "8T(vanilla)", "32T(vanilla)",
+                   "32T(pinned)", "32T(optimized)")
+
+
+def _fig11_point(p: ReportParams, app: str, cores: int,
+                 setting: str) -> ExperimentSpec:
+    if setting == "#core-T(vanilla)":
+        nthreads, cfg, pinned = cores, vanilla_desc(cores, p.seed), False
+    elif setting == "8T(vanilla)":
+        nthreads, cfg, pinned = 8, vanilla_desc(cores, p.seed), False
+    elif setting == "32T(vanilla)":
+        nthreads, cfg, pinned = 32, vanilla_desc(cores, p.seed), False
+    elif setting == "32T(pinned)":
+        nthreads, cfg, pinned = 32, vanilla_desc(cores, p.seed), True
+    else:  # 32T(optimized)
+        nthreads, cfg, pinned = 32, suite_opt_desc(app, cores, p.seed), False
+    return ExperimentSpec(
+        id=f"fig11/{app}/{cores}c/{setting}",
+        runner="suite_point",
+        params={"name": app, "nthreads": nthreads, "config": cfg,
+                "work_scale": min(p.scale, 0.5), "pinned": pinned,
+                "crash_ok": True},
+        seed=p.seed,
+    )
+
+
+def _specs_fig11(p: ReportParams) -> list[ExperimentSpec]:
+    return [
+        _fig11_point(p, app, c, s)
+        for app in FIG11_APPS
+        for c in _FIG11_CORES
+        for s in _FIG11_SETTINGS
+    ]
+
+
+def _render_fig11(p: ReportParams, res: dict, out: TextIO) -> None:
+    points = [
+        Fig11Point(app, c, s,
+                   res[f"fig11/{app}/{c}c/{s}"]["duration_ns"])
+        for app in FIG11_APPS
+        for c in _FIG11_CORES
+        for s in _FIG11_SETTINGS
+    ]
+    by: dict[str, dict] = {}
+    for pt in points:
+        by.setdefault(pt.app, {})[(pt.cores, pt.setting)] = pt.duration_ns
+    for app, d in by.items():
+        print(format_table(
+            ["cores", "#core-T", "8T", "32T", "32T pin", "32T opt"],
+            [
+                [c] + [
+                    "crash" if d[(c, s)] is None else f"{d[(c, s)] / 1e6:.1f}"
+                    for s in _FIG11_SETTINGS
+                ]
+                for c in _FIG11_CORES
+            ],
+            title=app,
+        ), file=out)
+
+
+_FIG12_CORES = (4, 8, 16)
+_FIG12_DURATION_MS = 400.0
+
+
+def _fig12_settings(p: ReportParams, cores: int):
+    return [
+        ("4T(vanilla)", vanilla_desc(cores, p.seed), 4),
+        ("16T(vanilla)", vanilla_desc(cores, p.seed), 16),
+        ("16T(optimized)", optimized_desc(cores, p.seed, bwd=False), 16),
+    ]
+
+
+def _specs_fig12(p: ReportParams) -> list[ExperimentSpec]:
+    return [
+        ExperimentSpec(
+            id=f"fig12/{c}c/{label}",
+            runner="memcached",
+            params={"config": cfg, "workers": workers,
+                    "duration_ms": _FIG12_DURATION_MS},
+            seed=p.seed,
+        )
+        for c in _FIG12_CORES
+        for label, cfg, workers in _fig12_settings(p, c)
+    ]
+
+
+def _render_fig12(p: ReportParams, res: dict, out: TextIO) -> None:
+    rows = []
+    for c in _FIG12_CORES:
+        for label, _, _ in _fig12_settings(p, c):
+            r = res[f"fig12/{c}c/{label}"]
+            lat = LatencySummary(**r["latency"])
+            rows.append((c, label, r["throughput_ops"], lat))
+    print(format_table(
+        ["cores", "setting", "kops/s", "avg us", "p95 us", "p99 us"],
+        [
+            [c, label, ops / 1e3, lat.mean, lat.p95, lat.p99]
+            for c, label, ops, lat in rows
+        ],
+        float_fmt="{:.1f}",
+    ), file=out)
+
+
+_FIG13_STAGES = 960
+
+
+def _fig13_settings(p: ReportParams, env: str):
+    mode = "vm" if env == "kvm" else "container"
+    settings = [
+        ("8T(vanilla)", vanilla_desc(8, p.seed, mode=mode), 8),
+        ("32T(vanilla)", vanilla_desc(8, p.seed, mode=mode), 32),
+    ]
+    if env == "kvm":
+        settings.append(("32T(PLE)", ple_desc(8, p.seed), 32))
+    settings.append(
+        ("32T(optimized)", optimized_desc(8, p.seed, mode=mode, vb=False), 32)
+    )
+    return settings
+
+
+def _specs_fig13(p: ReportParams) -> list[ExperimentSpec]:
+    return [
+        ExperimentSpec(
+            id=f"fig13/{env}/{alg}/{label}",
+            runner="spin_pipeline",
+            params={"algorithm": alg, "nthreads": nthreads, "config": cfg,
+                    "total_stages": _FIG13_STAGES},
+            seed=p.seed,
+        )
+        for env in ("container", "kvm")
+        for alg in SPINLOCK_ORDER
+        for label, cfg, nthreads in _fig13_settings(p, env)
+    ]
+
+
+def _render_fig13(p: ReportParams, res: dict, out: TextIO) -> None:
+    for env in ("container", "kvm"):
+        settings = ["8T(vanilla)", "32T(vanilla)"]
+        if env == "kvm":
+            settings.append("32T(PLE)")
+        settings.append("32T(optimized)")
+        print(format_table(
+            ["lock"] + settings,
+            [
+                [alg] + [
+                    res[f"fig13/{env}/{alg}/{s}"]["duration_ns"] / 1e6
+                    for s in settings
+                ]
+                for alg in SPINLOCK_ORDER
+            ],
+            title=env,
+            float_fmt="{:.1f}",
+        ), file=out)
+
+
+_FIG14_APPS = ("lu", "volrend")
+_FIG14_THREADS = (8, 16, 32)
+
+
+def _fig14_settings(p: ReportParams, env: str):
+    mode = "vm" if env == "vm" else "container"
+    settings = [("vanilla", vanilla_desc(8, p.seed, mode=mode))]
+    if env == "vm":
+        settings.append(("PLE", ple_desc(8, p.seed)))
+    settings.append(
+        ("optimized", optimized_desc(8, p.seed, mode=mode, vb=False))
+    )
+    return settings
+
+
+def _specs_fig14(p: ReportParams) -> list[ExperimentSpec]:
+    return [
+        ExperimentSpec(
+            id=f"fig14/{app}/{env}/{n}T/{label}",
+            runner="suite_point",
+            params={"name": app, "nthreads": n, "config": cfg,
+                    "work_scale": min(p.scale, 0.5)},
+            seed=p.seed,
+        )
+        for app in _FIG14_APPS
+        for env in ("container", "vm")
+        for n in _FIG14_THREADS
+        for label, cfg in _fig14_settings(p, env)
+    ]
+
+
+def _render_fig14(p: ReportParams, res: dict, out: TextIO) -> None:
+    for app in _FIG14_APPS:
+        for env in ("container", "vm"):
+            have = {label for label, _ in _fig14_settings(p, env)}
+            print(format_table(
+                ["threads", "vanilla", "PLE", "optimized"],
+                [
+                    [n] + [
+                        "n/a" if s not in have else
+                        f"{res[f'fig14/{app}/{env}/{n}T/{s}']['duration_ns'] / 1e6:.1f}"
+                        for s in ("vanilla", "PLE", "optimized")
+                    ]
+                    for n in _FIG14_THREADS
+                ],
+                title=f"{app} ({env})",
+            ), file=out)
+
+
+_FIG15_LOCKS = ("pthread", "mutexee", "mcstp", "shfllock", "optimized")
+
+
+def _specs_fig15(p: ReportParams) -> list[ExperimentSpec]:
+    specs = []
+    for app in FIG15_APPS:
+        for lock in _FIG15_LOCKS:
+            cfg = (optimized_desc(8, p.seed) if lock == "optimized"
+                   else vanilla_desc(8, p.seed))
+            specs.append(ExperimentSpec(
+                id=f"fig15/{app}/{lock}",
+                runner="suite_point",
+                params={
+                    "name": app, "nthreads": 32, "config": cfg,
+                    "work_scale": min(p.scale, 0.5),
+                    "lock": lock if lock in ("mutexee", "mcstp", "shfllock")
+                    else None,
+                    # The lock-library study interposes on the apps' pthread
+                    # mutexes while the rest of their synchronization
+                    # structure stays: model as barrier phases with
+                    # per-phase lock sections (MIXED kind).
+                    "profile_override": {"kind": "mixed", "cs_us": 3.0},
+                },
+                seed=p.seed,
+            ))
+    return specs
+
+
+def _render_fig15(p: ReportParams, res: dict, out: TextIO) -> None:
+    print(format_table(
+        ["app", "pthread", "mutexee", "mcstp", "shfllock", "optimized"],
+        [
+            [app] + [
+                res[f"fig15/{app}/{lock}"]["duration_ns"]
+                / res[f"fig15/{app}/optimized"]["duration_ns"]
+                for lock in _FIG15_LOCKS
+            ]
+            for app in FIG15_APPS
+        ],
+    ), file=out)
+
+
+def _table2_duration_ms(p: ReportParams) -> float:
+    return 1_000.0 if p.quick else 4_000.0
+
+
+def _specs_table2(p: ReportParams) -> list[ExperimentSpec]:
+    return [
+        ExperimentSpec(
+            id=f"table2/{alg}",
+            runner="table2_tp",
+            params={
+                "algorithm": alg,
+                # Decorrelate the detection-noise draws between algorithms.
+                "config": optimized_desc(1, p.seed + 97 * i,
+                                         vb=False, bwd=True),
+                "duration_ms": _table2_duration_ms(p),
+            },
+            seed=p.seed,
+        )
+        for i, alg in enumerate(SPINLOCK_ORDER)
+    ]
+
+
+def _render_table2(p: ReportParams, res: dict, out: TextIO) -> None:
+    rows = []
+    for alg in SPINLOCK_ORDER:
+        r = res[f"table2/{alg}"]
+        sens = r["true_positives"] / r["tries"] if r["tries"] else 0.0
+        rows.append([alg, r["tries"], r["true_positives"], sens * 100])
+    print(format_table(
+        ["spinlock", "# tries", "# TPs", "sensitivity %"], rows,
+    ), file=out)
+
+
+def _specs_table3(p: ReportParams) -> list[ExperimentSpec]:
+    return [
+        ExperimentSpec(
+            id=f"table3/{name}",
+            runner="table3_fp",
+            params={"name": name,
+                    "seeds": [p.seed, p.seed + 5, p.seed + 11],
+                    "work_scale": p.scale},
+            seed=p.seed,
+        )
+        for name in TABLE3_APPS
+    ]
+
+
+def _render_table3(p: ReportParams, res: dict, out: TextIO) -> None:
+    rows = []
+    for name in TABLE3_APPS:
+        r = res[f"table3/{name}"]
+        spec = (1.0 - r["false_positives"] / r["tries"]) if r["tries"] else 1.0
+        rows.append([name, r["tries"], r["false_positives"], spec * 100,
+                     r["overhead_pct"], r["timer_overhead_pct"]])
+    print(format_table(
+        ["app", "# tries", "# FPs", "specificity %", "FP overhead %",
+         "timer overhead %"], rows,
+    ), file=out)
+
+
+@dataclass(frozen=True)
+class Section:
+    key: str
+    title: str
+    build: Callable[[ReportParams], list[ExperimentSpec]]
+    render: Callable[[ReportParams, dict, TextIO], None]
+
+
+SECTIONS: list[Section] = [
+    Section("fig01", "Figure 1 — suite overview (32T vs 8T on 8 cores, "
+            "vanilla)", _specs_fig01, _render_fig01),
+    Section("fig02", "Figure 2 — direct context-switch cost",
+            _specs_fig02, _render_fig02),
+    Section("fig03", "Figure 3 — interval between synchronizations",
+            _specs_fig03, _render_fig03),
+    Section("fig04", "Figure 4 — indirect cost per context switch (us)",
+            _specs_fig04, _render_fig04),
+    Section("fig09", "Figure 9 / Table 1 — virtual blocking on blocking "
+            "benchmarks", _specs_fig09, _render_fig09),
+    Section("fig10", "Figure 10 — VB on pthreads primitives",
+            _specs_fig10, _render_fig10),
+    Section("fig11", "Figure 11 — CPU elasticity (execution time, ms)",
+            _specs_fig11, _render_fig11),
+    Section("fig12", "Figure 12 — memcached", _specs_fig12, _render_fig12),
+    Section("fig13", "Figure 13 — ten spinlocks (execution time, ms)",
+            _specs_fig13, _render_fig13),
+    Section("fig14", "Figure 14 — user-customized spinning (ms)",
+            _specs_fig14, _render_fig14),
+    Section("fig15", "Figure 15 — vs SHFLLOCK / Mutexee / MCS-TP "
+            "(normalized)", _specs_fig15, _render_fig15),
+    Section("table2", "Table 2 — BWD sensitivity",
+            _specs_table2, _render_table2),
+    Section("table3", "Table 3 — BWD specificity and overhead",
+            _specs_table3, _render_table3),
+]
+
+
+def build_all_specs(p: ReportParams) -> list[tuple[Section, list[ExperimentSpec]]]:
+    return [(section, section.build(p)) for section in SECTIONS]
+
+
+# =====================================================================
+# Driver
+# =====================================================================
+def banner(title: str, out: TextIO) -> None:
+    print(file=out)
+    print("=" * 72, file=out)
+    print(title, file=out)
+    print("=" * 72, file=out)
+
+
+def add_report_flags(ap: argparse.ArgumentParser) -> None:
+    """The shared flag set of ``benchmarks/run_all.py`` and
+    ``python -m repro all``."""
+    ap.add_argument("--scale", type=float, default=None,
+                    help="workload scale (default 1.0, or 0.3 with --quick; "
+                         "an explicit value always wins)")
+    ap.add_argument("--quick", action="store_true",
+                    help="shrink workloads for a fast smoke pass")
+    ap.add_argument("--jobs", type=int, default=None,
+                    help="worker processes (default: os.cpu_count())")
+    ap.add_argument("--no-cache", action="store_true",
+                    help="ignore and do not write the result cache")
+    ap.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                    help=f"result cache directory (default {DEFAULT_CACHE_DIR})")
+    ap.add_argument("--results", default="results.json", metavar="FILE",
+                    help="machine-readable results artifact "
+                         "(default results.json; 'none' disables)")
+    ap.add_argument("--seed", type=int, default=2021)
+    ap.add_argument("--timeout", type=float, default=DEFAULT_TIMEOUT_S,
+                    metavar="SECONDS", help="per-experiment timeout")
+
+
+def run_full_report(
+    scale: float | None = None,
+    quick: bool = False,
+    seed: int = 2021,
+    jobs: int | None = None,
+    use_cache: bool = True,
+    cache_dir: str = DEFAULT_CACHE_DIR,
+    results_path: str | None = "results.json",
+    timeout_s: float | None = DEFAULT_TIMEOUT_S,
+    out: TextIO | None = None,
+    progress_out: TextIO | None = None,
+) -> int:
+    """Regenerate every table and figure via the parallel runner."""
+    out = out if out is not None else sys.stdout
+    progress_out = progress_out if progress_out is not None else sys.stderr
+    t0 = time.time()
+
+    params = ReportParams(
+        scale=resolve_scale(scale, quick, warn=progress_out),
+        quick=quick,
+        seed=seed,
+    )
+    sections = build_all_specs(params)
+    specs = [spec for _, sec_specs in sections for spec in sec_specs]
+
+    # On a tty, redraw one line with \r; otherwise (logs, CI) emit a plain
+    # line at most every few seconds so the log stays readable.
+    is_tty = getattr(progress_out, "isatty", lambda: False)()
+    min_interval = 0.25 if is_tty else 5.0
+    last_tick = [float("-inf")]
+
+    def progress(st) -> None:
+        if st.completed != st.total and st.elapsed_s - last_tick[0] < min_interval:
+            return
+        last_tick[0] = st.elapsed_s
+        line = (
+            f"[{st.completed}/{st.total}] {st.elapsed_s:.1f}s elapsed, "
+            f"{st.cache_hits} cache hits, {st.executed} simulated"
+        )
+        if is_tty:
+            print("\r" + line, end="", file=progress_out, flush=True)
+        else:
+            print(line, file=progress_out, flush=True)
+
+    runner = ParallelRunner(
+        jobs=jobs, cache_dir=cache_dir, use_cache=use_cache,
+        timeout_s=timeout_s, progress=progress,
+    )
+    values = runner.run(specs)
+    if is_tty:
+        print(file=progress_out, flush=True)  # finish the progress line
+    res = {spec.id: value for spec, value in zip(specs, values)}
+
+    for section, _ in sections:
+        banner(section.title, out)
+        section.render(params, res, out)
+
+    st = runner.stats
+    print(f"\nspecs: {st.total} total, {st.executed} simulated, "
+          f"{st.cache_hits} cache hits, {st.retried} retried", file=out)
+    print(f"total wall time: {time.time() - t0:.1f}s", file=out)
+
+    if results_path and results_path != "none":
+        artifact = {
+            "version": __version__,
+            "seed": seed,
+            "scale": params.scale,
+            "quick": quick,
+            "jobs": runner.jobs,
+            "elapsed_s": time.time() - t0,
+            "cache": {"hits": st.cache_hits, "simulated": st.executed,
+                      "retried": st.retried},
+            "results": [
+                {**spec.payload(), "result": value}
+                for spec, value in zip(specs, values)
+            ],
+        }
+        with open(results_path, "w", encoding="utf-8") as f:
+            json.dump(artifact, f, indent=1, sort_keys=True)
+        print(f"results written to {results_path}", file=progress_out)
+    return 0
+
+
+def main_from_args(args: argparse.Namespace) -> int:
+    return run_full_report(
+        scale=args.scale,
+        quick=args.quick,
+        seed=args.seed,
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        results_path=args.results,
+        timeout_s=args.timeout,
+    )

@@ -1,0 +1,507 @@
+"""Parallel, cached experiment runner.
+
+Every data point of the paper's figures and tables is an independent,
+deterministic simulation (one app x thread-count x kernel-mode x core-count
+run), so the full report is embarrassingly parallel.  This module provides:
+
+* :class:`ExperimentSpec` — a picklable description of one simulation run:
+  a registered runner-function name plus JSON-serializable parameters.
+* a registry of runner functions, each of which executes one simulation in
+  a worker process and returns a JSON-serializable result.
+* :class:`ParallelRunner` — fans specs out across a
+  :class:`~concurrent.futures.ProcessPoolExecutor` (``jobs`` workers,
+  default ``os.cpu_count()``) with a per-spec timeout enforced inside the
+  worker and one retry on worker crash, merges results deterministically in
+  spec order, and caches each spec's result as JSON under ``.repro-cache/``
+  keyed on a SHA-256 of (canonical params, seed, repro ``__version__``).
+
+Because every simulation is bit-reproducible for a fixed seed, a result is
+the same whether it was computed serially, in a worker process, or loaded
+from cache — so report output is byte-identical across ``--jobs`` values
+and across warm-cache re-runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import signal
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from .. import __version__
+from ..config import (
+    ExecMode,
+    SimConfig,
+    optimized_config,
+    ple_config,
+    vanilla_config,
+)
+from ..errors import ReproError
+from ..hw.memmodel import AccessPattern, MemoryModel
+from ..config import HardwareConfig
+from ..sync import McsTp, Mutexee, ShflLock
+from ..workloads.memcached import MemcachedConfig, memcached_run
+from ..workloads.microbench import (
+    direct_cost_per_switch_ns,
+    direct_cost_run,
+    primitive_stress_run,
+)
+from ..workloads.pipeline import spin_pipeline_run
+from ..workloads.profiles import SUITE, Group, SyncKind
+from ..workloads.spindetect import false_positive_probe, true_positive_probe
+from ..workloads.synthetic import run_suite_benchmark
+
+DEFAULT_CACHE_DIR = ".repro-cache"
+DEFAULT_TIMEOUT_S = 900.0
+
+
+class ExperimentError(ReproError):
+    """A spec failed (after retries) or timed out."""
+
+
+# =====================================================================
+# Config descriptors — JSON-serializable stand-ins for SimConfig
+# =====================================================================
+def vanilla_desc(cores: int, seed: int, *, smt: bool = False,
+                 mode: str = "container") -> dict:
+    return {"kind": "vanilla", "cores": cores, "seed": seed, "smt": smt,
+            "mode": mode}
+
+
+def optimized_desc(cores: int, seed: int, *, smt: bool = False,
+                   mode: str = "container", vb: bool = True,
+                   bwd: bool = True) -> dict:
+    return {"kind": "optimized", "cores": cores, "seed": seed, "smt": smt,
+            "mode": mode, "vb": vb, "bwd": bwd}
+
+
+def ple_desc(cores: int, seed: int) -> dict:
+    return {"kind": "ple", "cores": cores, "seed": seed}
+
+
+def suite_opt_desc(name: str, cores: int, seed: int, *,
+                   smt: bool = False) -> dict:
+    """The paper's per-section 'optimized' kernel: VB for blocking
+    workloads (Section 4.2), BWD for spinning ones (Section 4.3)."""
+    spinning = SUITE[name].group is Group.SUFFER_SPINNING
+    return optimized_desc(cores, seed, smt=smt, vb=not spinning, bwd=spinning)
+
+
+def make_config(desc: dict) -> SimConfig:
+    kind = desc["kind"]
+    if kind == "vanilla":
+        return vanilla_config(
+            cores=desc["cores"], smt=desc.get("smt", False),
+            mode=ExecMode(desc.get("mode", "container")), seed=desc["seed"],
+        )
+    if kind == "optimized":
+        return optimized_config(
+            cores=desc["cores"], smt=desc.get("smt", False),
+            mode=ExecMode(desc.get("mode", "container")), seed=desc["seed"],
+            vb=desc.get("vb", True), bwd=desc.get("bwd", True),
+        )
+    if kind == "ple":
+        return ple_config(cores=desc["cores"], seed=desc["seed"])
+    raise ExperimentError(f"unknown config kind {kind!r}")
+
+
+# =====================================================================
+# Runner functions — each executes ONE simulation in a worker process
+# =====================================================================
+_LOCK_FACTORIES: dict[str, Callable] = {
+    "mutexee": lambda n: Mutexee(n),
+    "mcstp": lambda n: McsTp(n),
+    "shfllock": lambda n: ShflLock(n),
+}
+
+
+def _stats_dict(stats) -> dict:
+    return {
+        "cpu_utilization_pct": stats.cpu_utilization_pct,
+        "migrations_in_node": stats.migrations_in_node,
+        "migrations_cross_node": stats.migrations_cross_node,
+        "context_switches": stats.context_switches,
+        "blocks": stats.blocks,
+        "total_cpu_ns": stats.total_cpu_ns,
+        "total_spin_ns": stats.total_spin_ns,
+    }
+
+
+def run_suite_point(
+    name: str,
+    nthreads: int,
+    config: dict,
+    work_scale: float = 1.0,
+    pinned: bool = False,
+    crash_ok: bool = False,
+    lock: str | None = None,
+    profile_override: dict | None = None,
+) -> dict:
+    """One ``run_suite_benchmark`` call: one app x config data point."""
+    prof = SUITE[name]
+    if profile_override:
+        repl: dict[str, Any] = dict(profile_override)
+        if "kind" in repl:
+            repl["kind"] = SyncKind(repl["kind"])
+        prof = dataclasses.replace(prof, **repl)
+    factory = _LOCK_FACTORIES[lock] if lock else None
+    try:
+        run = run_suite_benchmark(
+            prof, nthreads, make_config(config),
+            work_scale=work_scale, pinned=pinned, mutex_factory=factory,
+        )
+    except Exception:
+        if crash_ok:
+            # Figure 11: "programs crashed when CPU count decreased" under
+            # pinning; record the failure as a data point.
+            return {"duration_ns": None, "stats": None}
+        raise
+    return {"duration_ns": run.duration_ns, "stats": _stats_dict(run.stats)}
+
+
+def run_direct_cost(nthreads: int, config: dict,
+                    total_work_ms: float = 30.0,
+                    atomic: bool = False) -> dict:
+    r = direct_cost_run(make_config(config), nthreads, total_work_ms,
+                        atomic=atomic)
+    return {"duration_ns": r.duration_ns, "stats": _stats_dict(r.stats)}
+
+
+def run_per_switch(nthreads: int, config: dict) -> dict:
+    return {"per_switch_ns": direct_cost_per_switch_ns(
+        make_config(config), nthreads=nthreads)}
+
+
+def run_indirect_cost(pattern: str, sizes_bytes: list[int],
+                      nthreads: int = 2) -> dict:
+    model = MemoryModel(HardwareConfig())
+    pat = AccessPattern(pattern)
+    series = [
+        [size, model.indirect_cs_cost(pat, size, nthreads=nthreads)["cost_per_cs_ns"]]
+        for size in sizes_bytes
+    ]
+    return {"series": series}
+
+
+def run_primitive(primitive: str, nthreads: int, config: dict,
+                  iterations: int = 1_000) -> dict:
+    r = primitive_stress_run(make_config(config), primitive, nthreads,
+                             iterations)
+    return {"duration_ns": r.duration_ns}
+
+
+def run_memcached(config: dict, workers: int, duration_ms: float) -> dict:
+    r = memcached_run(make_config(config), MemcachedConfig(workers=workers),
+                      duration_ms=duration_ms)
+    return {
+        "throughput_ops": r.throughput_ops,
+        "latency": r.latency_summary().as_dict(),
+    }
+
+
+def run_spin_pipeline(algorithm: str, nthreads: int, config: dict,
+                      total_stages: int = 960) -> dict:
+    r = spin_pipeline_run(make_config(config), algorithm, nthreads,
+                          total_stages=total_stages)
+    return {"duration_ns": r.duration_ns}
+
+
+def run_table2_tp(algorithm: str, config: dict,
+                  duration_ms: float) -> dict:
+    r = true_positive_probe(make_config(config), algorithm,
+                            duration_ms=duration_ms)
+    return {"tries": r.tries, "true_positives": r.true_positives}
+
+
+def run_table3_fp(name: str, seeds: list[int],
+                  work_scale: float = 1.0) -> dict:
+    r = false_positive_probe(SUITE[name], seeds=tuple(seeds),
+                             work_scale=work_scale)
+    return {
+        "tries": r.tries,
+        "false_positives": r.false_positives,
+        "overhead_pct": r.overhead_pct,
+        "timer_overhead_pct": r.timer_overhead_pct,
+    }
+
+
+def debug_sleep(seconds: float) -> dict:  # for timeout tests
+    time.sleep(seconds)
+    return {"slept": seconds}
+
+
+def debug_crash_once(marker_path: str) -> dict:  # for crash-retry tests
+    if os.path.exists(marker_path):
+        return {"ok": True}
+    with open(marker_path, "w", encoding="utf-8") as f:
+        f.write("crashed\n")
+        f.flush()
+        os.fsync(f.fileno())
+    os._exit(17)
+
+
+RUNNERS: dict[str, Callable[..., dict]] = {
+    "suite_point": run_suite_point,
+    "direct_cost": run_direct_cost,
+    "per_switch": run_per_switch,
+    "indirect_cost": run_indirect_cost,
+    "primitive": run_primitive,
+    "memcached": run_memcached,
+    "spin_pipeline": run_spin_pipeline,
+    "table2_tp": run_table2_tp,
+    "table3_fp": run_table3_fp,
+    "debug_sleep": debug_sleep,
+    "debug_crash_once": debug_crash_once,
+}
+
+
+# =====================================================================
+# Specs, cache keys, worker entry point
+# =====================================================================
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One independent simulation: a runner name + JSON-able params.
+
+    ``id`` is a stable human-readable label ("fig01/lu/32T") used for
+    progress, error messages, and the results.json artifact.  ``seed`` is
+    carried explicitly (even when it also appears inside a config
+    descriptor) because it is part of the cache key.
+    """
+
+    id: str
+    runner: str
+    params: dict = field(default_factory=dict)
+    seed: int = 2021
+
+    def payload(self) -> dict:
+        return {"id": self.id, "runner": self.runner,
+                "params": self.params, "seed": self.seed}
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON encoding used for hashing."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False)
+
+
+def cache_key(spec: ExperimentSpec, version: str | None = None) -> str:
+    """SHA-256 over (canonical params, runner, seed, repro version)."""
+    blob = canonical_json({
+        "runner": spec.runner,
+        "params": spec.params,
+        "seed": spec.seed,
+        "version": version if version is not None else __version__,
+    })
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _alarm_handler(_signum, _frame):  # pragma: no cover - fires in workers
+    raise TimeoutError("spec exceeded its timeout")
+
+
+def execute_spec(payload: dict, timeout_s: float | None) -> dict:
+    """Worker entry point: run one spec with an in-process timeout.
+
+    The timeout is enforced with ``SIGALRM`` inside the worker (POSIX), so
+    a hung simulation interrupts itself and the pool stays alive instead of
+    needing to be torn down.
+    """
+    fn = RUNNERS.get(payload["runner"])
+    if fn is None:
+        raise ExperimentError(f"unknown runner {payload['runner']!r}")
+    use_alarm = (
+        timeout_s is not None
+        and timeout_s > 0
+        and hasattr(signal, "SIGALRM")
+        and hasattr(signal, "setitimer")
+    )
+    if use_alarm:
+        old = signal.signal(signal.SIGALRM, _alarm_handler)
+        signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        return fn(**payload["params"])
+    finally:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, old)
+
+
+# =====================================================================
+# The runner
+# =====================================================================
+@dataclass
+class RunnerStats:
+    total: int = 0
+    completed: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    retried: int = 0
+    started_at: float = 0.0
+
+    @property
+    def elapsed_s(self) -> float:
+        return time.monotonic() - self.started_at
+
+
+class ParallelRunner:
+    """Run experiment specs across a process pool, with a JSON cache.
+
+    Results come back as a list in spec order regardless of completion
+    order, worker placement, or cache state, so downstream rendering is
+    deterministic.  ``jobs=1`` executes inline in this process (same code
+    path as the workers, minus the pool), which is the reference the
+    parallel output must match byte-for-byte.
+    """
+
+    def __init__(
+        self,
+        jobs: int | None = None,
+        cache_dir: str | os.PathLike | None = DEFAULT_CACHE_DIR,
+        use_cache: bool = True,
+        timeout_s: float | None = DEFAULT_TIMEOUT_S,
+        retries: int = 1,
+        progress: Callable[[RunnerStats], None] | None = None,
+        version: str | None = None,
+    ) -> None:
+        self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
+        self.use_cache = use_cache and self.cache_dir is not None
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.progress = progress
+        self.version = version if version is not None else __version__
+        self.stats = RunnerStats()
+
+    # -- cache ---------------------------------------------------------
+    def _cache_path(self, spec: ExperimentSpec) -> str:
+        assert self.cache_dir is not None
+        return os.path.join(self.cache_dir, cache_key(spec, self.version) + ".json")
+
+    def cache_load(self, spec: ExperimentSpec) -> Any | None:
+        if not self.use_cache:
+            return None
+        try:
+            with open(self._cache_path(spec), "r", encoding="utf-8") as f:
+                entry = json.load(f)
+        except (OSError, ValueError):
+            return None
+        return entry.get("result") if isinstance(entry, dict) else None
+
+    def cache_store(self, spec: ExperimentSpec, result: Any) -> None:
+        if not self.use_cache:
+            return
+        assert self.cache_dir is not None
+        os.makedirs(self.cache_dir, exist_ok=True)
+        path = self._cache_path(spec)
+        entry = {
+            "id": spec.id,
+            "runner": spec.runner,
+            "params": spec.params,
+            "seed": spec.seed,
+            "version": self.version,
+            "result": result,
+        }
+        tmp = path + f".tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as f:
+            json.dump(entry, f, sort_keys=True)
+        os.replace(tmp, path)  # atomic: concurrent runners never see partials
+
+    # -- execution -----------------------------------------------------
+    def _tick(self) -> None:
+        if self.progress is not None:
+            self.progress(self.stats)
+
+    def run(self, specs: list[ExperimentSpec]) -> list[Any]:
+        """Execute all specs; returns their results in spec order."""
+        self.stats = RunnerStats(total=len(specs), started_at=time.monotonic())
+        results: list[Any] = [None] * len(specs)
+        done = [False] * len(specs)
+
+        for i, spec in enumerate(specs):
+            cached = self.cache_load(spec)
+            if cached is not None:
+                results[i] = cached
+                done[i] = True
+                self.stats.cache_hits += 1
+                self.stats.completed += 1
+                self._tick()
+
+        pending = [i for i in range(len(specs)) if not done[i]]
+        if pending:
+            if self.jobs == 1:
+                self._run_inline(specs, results, pending)
+            else:
+                self._run_pool(specs, results, pending)
+        self._tick()
+        return results
+
+    def _record(self, spec: ExperimentSpec, results: list, i: int,
+                value: Any) -> None:
+        results[i] = value
+        self.cache_store(spec, value)
+        self.stats.executed += 1
+        self.stats.completed += 1
+        self._tick()
+
+    def _run_inline(self, specs, results, pending) -> None:
+        for i in pending:
+            last_exc: BaseException | None = None
+            for attempt in range(self.retries + 1):
+                if attempt:
+                    self.stats.retried += 1
+                try:
+                    value = execute_spec(specs[i].payload(), self.timeout_s)
+                except Exception as exc:
+                    last_exc = exc
+                    continue
+                self._record(specs[i], results, i, value)
+                last_exc = None
+                break
+            if last_exc is not None:
+                raise ExperimentError(
+                    f"spec {specs[i].id} failed after "
+                    f"{self.retries + 1} attempts: {last_exc!r}"
+                ) from last_exc
+
+    def _run_pool(self, specs, results, pending) -> None:
+        todo = list(pending)
+        failures: dict[int, BaseException] = {}
+        for attempt in range(self.retries + 1):
+            if not todo:
+                break
+            if attempt:
+                self.stats.retried += len(todo)
+            failed: list[int] = []
+            # A fresh pool per round: a worker crash (e.g. a segfaulting
+            # simulation) breaks the whole executor, so survivors of the
+            # round are retried in a clean one.
+            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                futures = {
+                    pool.submit(execute_spec, specs[i].payload(),
+                                self.timeout_s): i
+                    for i in todo
+                }
+                for fut in as_completed(futures):
+                    i = futures[fut]
+                    try:
+                        value = fut.result()
+                    except Exception as exc:
+                        failed.append(i)
+                        failures[i] = exc
+                        continue
+                    failures.pop(i, None)
+                    self._record(specs[i], results, i, value)
+            todo = sorted(failed)
+        if todo:
+            detail = "; ".join(
+                f"{specs[i].id}: {failures[i]!r}" for i in todo[:5]
+            )
+            raise ExperimentError(
+                f"{len(todo)} spec(s) failed after {self.retries + 1} "
+                f"attempts: {detail}"
+            )

@@ -18,16 +18,32 @@ from ..errors import SimulationError
 class EventHandle:
     """Handle to a scheduled event; ``cancel()`` prevents its callback."""
 
-    __slots__ = ("time", "fn", "args", "cancelled")
+    __slots__ = ("time", "fn", "args", "cancelled", "_engine")
 
-    def __init__(self, time: int, fn: Callable[..., Any], args: tuple):
+    def __init__(
+        self,
+        time: int,
+        fn: Callable[..., Any],
+        args: tuple,
+        engine: "Engine | None" = None,
+    ):
         self.time = time
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._engine = engine
 
     def cancel(self) -> None:
+        if self.cancelled:
+            return
         self.cancelled = True
+        # The owning engine keeps a live-event counter so ``pending`` is
+        # O(1); tell it this event will never fire.  ``_engine`` is cleared
+        # once the event fires, so a late cancel() cannot double-decrement.
+        engine = self._engine
+        self._engine = None
+        if engine is not None:
+            engine._live -= 1
         # Drop references so cancelled events do not pin large objects
         # while they wait to be popped from the heap.
         self.fn = _noop
@@ -41,13 +57,14 @@ def _noop(*_args) -> None:  # pragma: no cover - trivial
 class Engine:
     """Event loop owning the simulated clock."""
 
-    __slots__ = ("now", "_heap", "_seq", "_events_run")
+    __slots__ = ("now", "_heap", "_seq", "_events_run", "_live")
 
     def __init__(self) -> None:
         self.now: int = 0
         self._heap: list[tuple[int, int, EventHandle]] = []
         self._seq = 0
         self._events_run = 0
+        self._live = 0
 
     @property
     def events_run(self) -> int:
@@ -55,17 +72,20 @@ class Engine:
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-cancelled events still in the queue."""
-        return sum(1 for _, _, h in self._heap if not h.cancelled)
+        """Number of not-yet-cancelled events still in the queue (O(1):
+        a live counter maintained on schedule/cancel/fire, so kernels that
+        poll it do not go quadratic in long runs)."""
+        return self._live
 
     def schedule_at(self, time: int, fn: Callable[..., Any], *args) -> EventHandle:
         if time < self.now:
             raise SimulationError(
                 f"cannot schedule event at t={time} before now={self.now}"
             )
-        handle = EventHandle(time, fn, args)
+        handle = EventHandle(time, fn, args, engine=self)
         heapq.heappush(self._heap, (time, self._seq, handle))
         self._seq += 1
+        self._live += 1
         return handle
 
     def schedule(self, delay: int, fn: Callable[..., Any], *args) -> EventHandle:
@@ -87,6 +107,8 @@ class Engine:
                 continue
             self.now = time
             self._events_run += 1
+            self._live -= 1
+            handle._engine = None  # fired: a late cancel() must not decrement
             handle.fn(*handle.args)
             return True
         return False
@@ -110,9 +132,14 @@ class Engine:
                 )
             t = self.peek_time()
             if t is None:
+                # Queue empty or fully drained: the run still covers the
+                # whole [now, until] window, so advance the clock to the
+                # bound — same as the not-yet-due path below.
+                if until is not None and until > self.now:
+                    self.now = until
                 return
             if until is not None and t > until:
-                self.now = until
+                self.now = max(self.now, until)
                 return
             self.step()
             count += 1

@@ -9,6 +9,7 @@ with thread count exactly as Section 2.3 describes.
 from __future__ import annotations
 
 import math
+import zlib
 from dataclasses import dataclass
 from typing import Any, Callable, Generator
 
@@ -76,8 +77,13 @@ def build_programs(
     """
     if nthreads < 1:
         raise ValueError("need at least one thread")
+    # crc32, not hash(): str hashing is randomized per interpreter
+    # invocation (PYTHONHASHSEED), which would make the "same" seeded
+    # simulation differ across processes and defeat result caching.
     rng = np.random.default_rng(
-        np.random.SeedSequence(entropy=seed, spawn_key=(hash(prof.name) & 0xFFFF,))
+        np.random.SeedSequence(
+            entropy=seed, spawn_key=(zlib.crc32(prof.name.encode("utf-8")) & 0xFFFF,)
+        )
     )
     phases = _phase_count(prof, work_scale)
     total_ns = prof.total_work_ms * 1e6 * work_scale

@@ -116,6 +116,101 @@ def test_peek_time_skips_cancelled():
     assert e.peek_time() == 9
 
 
+def test_run_until_on_empty_queue_advances_clock():
+    e = Engine()
+    e.run(until=100)
+    assert e.now == 100
+
+
+def test_run_until_after_queue_drains_mid_run_advances_clock():
+    # Drain order 1: the queue empties *during* the run.
+    e = Engine()
+    fired = []
+    e.schedule_at(10, fired.append, 1)
+    e.run(until=50)
+    assert fired == [1]
+    assert e.now == 50
+
+
+def test_run_until_on_predrained_queue_advances_clock():
+    # Drain order 2: the queue was already emptied by a previous run.
+    e = Engine()
+    e.schedule_at(10, lambda: None)
+    e.run()
+    assert e.now == 10
+    e.run(until=50)
+    assert e.now == 50
+
+
+def test_run_until_with_only_cancelled_events_advances_clock():
+    e = Engine()
+    h = e.schedule_at(10, lambda: None)
+    h.cancel()
+    e.run(until=25)
+    assert e.now == 25
+
+
+def test_run_until_never_moves_clock_backwards():
+    e = Engine()
+    e.schedule_at(10, lambda: None)
+    e.run()
+    assert e.now == 10
+    e.run(until=5)
+    assert e.now == 10
+
+
+def test_run_until_repeated_calls_are_monotonic():
+    e = Engine()
+    ticks = []
+    e.schedule_at(30, ticks.append, "late")
+    e.run(until=10)
+    assert e.now == 10
+    e.run(until=20)
+    assert e.now == 20
+    e.run(until=40)
+    assert ticks == ["late"]
+    assert e.now == 40
+
+
+def test_pending_counter_tracks_schedule_cancel_fire():
+    e = Engine()
+    assert e.pending == 0
+    h1 = e.schedule_at(10, lambda: None)
+    h2 = e.schedule_at(20, lambda: None)
+    h3 = e.schedule_at(30, lambda: None)
+    assert e.pending == 3
+    h2.cancel()
+    assert e.pending == 2
+    h2.cancel()  # double-cancel must not double-decrement
+    assert e.pending == 2
+    assert e.step() is True  # fires h1
+    assert e.pending == 1
+    h1.cancel()  # cancel after fire must not decrement
+    assert e.pending == 1
+    h3.cancel()
+    assert e.pending == 0
+    e.run()
+    assert e.pending == 0
+
+
+def test_pending_matches_heap_scan():
+    import random
+
+    rng = random.Random(7)
+    e = Engine()
+    handles = []
+    for _ in range(200):
+        op = rng.random()
+        if op < 0.6:
+            handles.append(e.schedule(rng.randrange(1, 50), lambda: None))
+        elif op < 0.8 and handles:
+            handles.pop(rng.randrange(len(handles))).cancel()
+        else:
+            e.step()
+        live = sum(1 for _, _, h in e._heap if not h.cancelled)
+        assert e.pending == live
+
+
 def test_events_run_counter():
     e = Engine()
     for i in range(7):

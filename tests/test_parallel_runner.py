@@ -1,0 +1,249 @@
+"""Parallel/cached experiment runner: determinism, cache keys, fault
+handling, and the full-report flag resolution."""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import time
+
+import pytest
+
+from repro.errors import ReproError
+from repro.runners.full_report import (
+    QUICK_SCALE,
+    ReportParams,
+    build_all_specs,
+    resolve_scale,
+)
+from repro.runners.parallel import (
+    RUNNERS,
+    ExperimentError,
+    ExperimentSpec,
+    ParallelRunner,
+    cache_key,
+    vanilla_desc,
+)
+
+
+def fig1_subset_specs(work_scale: float = 0.05, seed: int = 2021):
+    """A small Figure-1 subset: two apps x (8T, 32T) on 8 cores."""
+    return [
+        ExperimentSpec(
+            id=f"fig01/{name}/{n}T",
+            runner="suite_point",
+            params={"name": name, "nthreads": n,
+                    "config": vanilla_desc(8, seed),
+                    "work_scale": work_scale},
+            seed=seed,
+        )
+        for name in ("is", "ep")
+        for n in (8, 32)
+    ]
+
+
+# ---------------------------------------------------------------------
+# serial vs parallel equality
+# ---------------------------------------------------------------------
+def test_serial_and_parallel_results_identical(tmp_path):
+    specs = fig1_subset_specs()
+    serial = ParallelRunner(jobs=1, use_cache=False).run(specs)
+    parallel = ParallelRunner(jobs=2, use_cache=False).run(specs)
+    assert serial == parallel
+    assert all(r["duration_ns"] > 0 for r in serial)
+    # oversubscription slows these blocking apps down (Figure 1's point)
+    assert serial[1]["duration_ns"] > serial[0]["duration_ns"]
+
+
+def test_results_come_back_in_spec_order(tmp_path):
+    specs = fig1_subset_specs()
+    runner = ParallelRunner(jobs=2, cache_dir=tmp_path)
+    results = runner.run(specs)
+    assert len(results) == len(specs)
+    # Re-run from cache and interleave cached order arbitrarily: results
+    # must still land at their spec's index.
+    shuffled = [specs[2], specs[0], specs[3], specs[1]]
+    warm = ParallelRunner(jobs=2, cache_dir=tmp_path).run(shuffled)
+    by_id = {s.id: r for s, r in zip(specs, results)}
+    assert warm == [by_id[s.id] for s in shuffled]
+
+
+# ---------------------------------------------------------------------
+# cache behavior
+# ---------------------------------------------------------------------
+def test_cache_hit_skips_simulation(tmp_path):
+    specs = fig1_subset_specs()[:2]
+    cold = ParallelRunner(jobs=1, cache_dir=tmp_path)
+    res1 = cold.run(specs)
+    assert cold.stats.executed == 2 and cold.stats.cache_hits == 0
+    warm = ParallelRunner(jobs=1, cache_dir=tmp_path)
+    res2 = warm.run(specs)
+    assert warm.stats.executed == 0 and warm.stats.cache_hits == 2
+    assert res1 == res2
+
+
+def test_cache_misses_on_config_change(tmp_path):
+    base = fig1_subset_specs(work_scale=0.05)[:1]
+    changed = fig1_subset_specs(work_scale=0.06)[:1]
+    assert cache_key(base[0]) != cache_key(changed[0])
+    ParallelRunner(jobs=1, cache_dir=tmp_path).run(base)
+    r = ParallelRunner(jobs=1, cache_dir=tmp_path)
+    r.run(changed)
+    assert r.stats.cache_hits == 0 and r.stats.executed == 1
+
+
+def test_cache_misses_on_seed_change(tmp_path):
+    base = fig1_subset_specs(seed=2021)[:1]
+    reseeded = fig1_subset_specs(seed=2022)[:1]
+    assert cache_key(base[0]) != cache_key(reseeded[0])
+    ParallelRunner(jobs=1, cache_dir=tmp_path).run(base)
+    r = ParallelRunner(jobs=1, cache_dir=tmp_path)
+    r.run(reseeded)
+    assert r.stats.cache_hits == 0 and r.stats.executed == 1
+
+
+def test_cache_invalidated_on_version_bump(tmp_path):
+    specs = fig1_subset_specs()[:1]
+    r1 = ParallelRunner(jobs=1, cache_dir=tmp_path, version="1.0.0")
+    r1.run(specs)
+    # same version: hit
+    r2 = ParallelRunner(jobs=1, cache_dir=tmp_path, version="1.0.0")
+    r2.run(specs)
+    assert r2.stats.cache_hits == 1
+    # bumped version: miss, fresh simulation
+    r3 = ParallelRunner(jobs=1, cache_dir=tmp_path, version="1.0.1")
+    r3.run(specs)
+    assert r3.stats.cache_hits == 0 and r3.stats.executed == 1
+
+
+def test_corrupt_cache_entry_is_recomputed(tmp_path):
+    specs = fig1_subset_specs()[:1]
+    r1 = ParallelRunner(jobs=1, cache_dir=tmp_path)
+    res1 = r1.run(specs)
+    (entry,) = [p for p in os.listdir(tmp_path) if p.endswith(".json")]
+    (tmp_path / entry).write_text("{not json", encoding="utf-8")
+    r2 = ParallelRunner(jobs=1, cache_dir=tmp_path)
+    res2 = r2.run(specs)
+    assert r2.stats.executed == 1
+    assert res1 == res2
+
+
+def test_no_cache_mode_writes_nothing(tmp_path):
+    specs = fig1_subset_specs()[:1]
+    r = ParallelRunner(jobs=1, cache_dir=tmp_path, use_cache=False)
+    r.run(specs)
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_cache_key_is_stable_and_param_order_independent():
+    a = ExperimentSpec(id="x", runner="suite_point",
+                       params={"name": "is", "nthreads": 8}, seed=1)
+    b = ExperimentSpec(id="y", runner="suite_point",
+                       params={"nthreads": 8, "name": "is"}, seed=1)
+    assert cache_key(a) == cache_key(b)  # id is a label, not part of the key
+    assert len(cache_key(a)) == 64
+
+
+# ---------------------------------------------------------------------
+# timeouts and worker crashes
+# ---------------------------------------------------------------------
+def test_timeout_aborts_spec_inline():
+    spec = ExperimentSpec(id="sleepy", runner="debug_sleep",
+                          params={"seconds": 10.0}, seed=0)
+    r = ParallelRunner(jobs=1, use_cache=False, timeout_s=0.2, retries=0)
+    t0 = time.monotonic()
+    with pytest.raises(ExperimentError, match="sleepy"):
+        r.run([spec])
+    assert time.monotonic() - t0 < 5.0  # interrupted, not slept out
+
+
+def test_timeout_aborts_spec_in_pool():
+    spec = ExperimentSpec(id="sleepy", runner="debug_sleep",
+                          params={"seconds": 10.0}, seed=0)
+    r = ParallelRunner(jobs=2, use_cache=False, timeout_s=0.2, retries=0)
+    t0 = time.monotonic()
+    with pytest.raises(ExperimentError, match="sleepy"):
+        r.run([spec])
+    assert time.monotonic() - t0 < 8.0
+
+
+def test_worker_crash_is_retried_once(tmp_path):
+    marker = tmp_path / "crashed-once"
+    spec = ExperimentSpec(id="crashy", runner="debug_crash_once",
+                          params={"marker_path": str(marker)}, seed=0)
+    r = ParallelRunner(jobs=2, use_cache=False, retries=1)
+    results = r.run([spec])
+    assert results == [{"ok": True}]
+    assert r.stats.retried == 1
+    assert marker.exists()
+
+
+def test_persistent_failure_raises_after_retries(tmp_path):
+    spec = ExperimentSpec(id="bad", runner="suite_point",
+                          params={"name": "no-such-benchmark", "nthreads": 8,
+                                  "config": vanilla_desc(8, 0)},
+                          seed=0)
+    r = ParallelRunner(jobs=1, use_cache=False, retries=1)
+    with pytest.raises(ExperimentError, match="bad"):
+        r.run([spec])
+    assert isinstance(ExperimentError("x"), ReproError)
+
+
+def test_unknown_runner_rejected():
+    spec = ExperimentSpec(id="nope", runner="not-a-runner", params={}, seed=0)
+    with pytest.raises(ExperimentError):
+        ParallelRunner(jobs=1, use_cache=False, retries=0).run([spec])
+
+
+# ---------------------------------------------------------------------
+# full-report decomposition and flag resolution
+# ---------------------------------------------------------------------
+def test_full_report_spec_ids_unique_and_runners_registered():
+    params = ReportParams(scale=0.3, quick=True)
+    sections = build_all_specs(params)
+    specs = [s for _, sec in sections for s in sec]
+    ids = [s.id for s in specs]
+    assert len(ids) == len(set(ids))
+    assert len(specs) > 400  # every figure/table data point is one spec
+    assert {s.runner for s in specs} <= set(RUNNERS)
+    assert all(s.seed == 2021 for s in specs)
+    # params must be JSON-serializable (cache key + worker payload)
+    for s in specs:
+        json.dumps(s.params)
+
+
+def test_resolve_scale_quick_is_only_a_default():
+    assert resolve_scale(None, quick=False) == 1.0
+    assert resolve_scale(None, quick=True) == QUICK_SCALE
+    # explicit --scale wins over --quick, with a warning
+    err = io.StringIO()
+    assert resolve_scale(0.7, quick=True, warn=err) == 0.7
+    assert "overrides" in err.getvalue()
+    # explicit scale without --quick: no warning
+    err = io.StringIO()
+    assert resolve_scale(0.7, quick=False, warn=err) == 0.7
+    assert err.getvalue() == ""
+
+
+def test_run_all_flags_roundtrip():
+    import argparse
+
+    from repro.runners.full_report import add_report_flags
+
+    ap = argparse.ArgumentParser()
+    add_report_flags(ap)
+    args = ap.parse_args(["--quick", "--jobs", "4", "--no-cache",
+                          "--cache-dir", "/tmp/x", "--seed", "3",
+                          "--results", "none"])
+    assert args.quick and args.jobs == 4 and args.no_cache
+    assert args.cache_dir == "/tmp/x" and args.seed == 3
+    assert args.results == "none"
+
+
+def test_cli_all_subcommand_registered():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(["all", "--quick", "--jobs", "2"])
+    assert args.fn.__name__ == "cmd_all"
+    assert args.quick and args.jobs == 2
