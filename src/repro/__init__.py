@@ -56,7 +56,9 @@ from .errors import (
 from .kernel import Kernel, Task, TaskState, ExecProfile
 from .metrics import RunStats, collect, percentile, summarize_latencies
 
-__version__ = "1.0.0"
+# 1.1.0: result payloads gained the "extra" histogram summaries — the bump
+# invalidates pre-observability cache entries.
+__version__ = "1.1.0"
 
 __all__ = [
     "SimConfig",

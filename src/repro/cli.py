@@ -290,6 +290,20 @@ def cmd_adapt(args) -> int:
     return 0
 
 
+def _print_hists(extra: dict) -> None:
+    hist_rows = [
+        [key[len("hist:"):-len("_ns")], int(s["count"]), s["p50"] / 1e3,
+         s["p95"] / 1e3, s["p99"] / 1e3, s["max"] / 1e3]
+        for key, s in sorted(extra.items())
+        if key.startswith("hist:")
+    ]
+    if hist_rows:
+        print(format_table(
+            ["metric", "n", "p50 (us)", "p95 (us)", "p99 (us)", "max (us)"],
+            hist_rows, title="latency distributions", float_fmt="{:.1f}",
+        ))
+
+
 def cmd_npb(args) -> int:
     from .workloads.npb_omp import NpbOmpConfig, run_npb_omp
 
@@ -298,12 +312,31 @@ def cmd_npb(args) -> int:
         if args.optimized
         else vanilla_config(cores=args.cores, seed=args.seed)
     )
-    r = run_npb_omp(args.kernel, args.threads, cfg, NpbOmpConfig())
+
+    def go():
+        return run_npb_omp(args.kernel, args.threads, cfg, NpbOmpConfig())
+
+    if args.trace:
+        from .obs import observe
+        from .obs.export import write_artifacts
+
+        with observe() as session:
+            r = go()
+        paths = write_artifacts(
+            session.recorder, args.trace,
+            meta={"benchmark": f"npb/{args.kernel}",
+                  "threads": args.threads, "seed": args.seed},
+        )
+    else:
+        paths = {}
+        r = go()
     print(f"{r.kernel} (OpenMP model): {r.nthreads} threads on "
           f"{r.cores} cores, {r.regions} parallel regions")
     print(f"  execution time   {r.duration_ns / 1e6:10.2f} ms")
     print(f"  barriers/blocks  {r.stats.blocks:10d}")
     print(f"  migrations       {r.stats.total_migrations:10d}")
+    for kind, path in paths.items():
+        print(f"  trace ({kind})    -> {path}")
     return 0
 
 
@@ -314,15 +347,21 @@ def cmd_suite(args) -> int:
         if args.optimized
         else vanilla_config(cores=args.cores, seed=args.seed)
     )
-    trace = None
-    if args.trace:
-        from .sim.trace import TraceRecorder
 
-        trace = TraceRecorder(enabled=True)
-    run = run_suite_benchmark(
-        prof, args.threads, cfg, work_scale=args.scale, pinned=args.pinned,
-        trace=trace,
-    )
+    def go():
+        return run_suite_benchmark(
+            prof, args.threads, cfg, work_scale=args.scale,
+            pinned=args.pinned,
+        )
+
+    session = None
+    if args.trace:
+        from .obs import observe
+
+        with observe(sample_interval_us=args.sample_interval_us) as session:
+            run = go()
+    else:
+        run = go()
     s = run.stats
     print(f"{prof.name}: {args.threads} threads on {args.cores} cores "
           f"({'optimized' if args.optimized else 'vanilla'} kernel)")
@@ -333,10 +372,86 @@ def cmd_suite(args) -> int:
     print(f"  migrations         {s.total_migrations:10d} "
           f"({s.migrations_cross_node} cross-node)")
     print(f"  time spinning      {s.total_spin_ns / 1e6:10.2f} ms")
-    if trace is not None:
-        rows = trace.to_csv(args.trace)
-        print(f"  trace              {rows:10d} events -> {args.trace}")
+    if session is not None:
+        from .obs.export import write_artifacts
+
+        paths = write_artifacts(
+            session.recorder, args.trace,
+            meta={"benchmark": prof.name, "threads": args.threads,
+                  "cores": args.cores, "seed": args.seed},
+        )
+        n = session.recorder.count()
+        for kind, path in paths.items():
+            print(f"  trace ({kind:6s})     {n:10d} events -> {path}")
+        _print_hists(s.extra_dict)
+        if session.samplers:
+            from .obs.timeline import render_sampler
+
+            print(render_sampler(session.samplers[0]))
     return 0
+
+
+def cmd_trace(args) -> int:
+    from .obs import observe
+    from .obs.export import write_artifacts
+    from .obs.timeline import render_sampler
+    from .runners.full_report import (
+        ReportParams, SECTIONS, resolve_scale,
+    )
+    from .runners.parallel import execute_spec
+
+    section = next((s for s in SECTIONS if s.key == args.section), None)
+    if section is None:
+        keys = ", ".join(s.key for s in SECTIONS)
+        print(f"unknown section {args.section!r}; one of: {keys}",
+              file=sys.stderr)
+        return 2
+    params = ReportParams(
+        scale=resolve_scale(args.scale, args.quick, warn=sys.stderr),
+        quick=args.quick, seed=args.seed,
+    )
+    specs = section.build(params)
+    if args.list:
+        for i, spec in enumerate(specs):
+            print(f"{i:3d}  {spec.id}")
+        return 0
+    if args.spec_id is not None:
+        spec = next((s for s in specs if s.id == args.spec_id), None)
+        if spec is None:
+            print(f"no spec {args.spec_id!r} in {args.section} "
+                  f"(try --list)", file=sys.stderr)
+            return 2
+    else:
+        if not 0 <= args.index < len(specs):
+            print(f"--index {args.index} out of range "
+                  f"(0..{len(specs) - 1})", file=sys.stderr)
+            return 2
+        spec = specs[args.index]
+
+    print(f"tracing {spec.id} (scale {params.scale}, seed {spec.seed})")
+    with observe(sample_interval_us=args.sample_interval_us,
+                 capacity=args.capacity) as session:
+        execute_spec(spec.payload(), timeout_s=None)
+    rec = session.recorder
+    paths = write_artifacts(
+        rec, args.out,
+        meta={"spec": spec.id, "seed": spec.seed, "scale": params.scale},
+    )
+    drop = f" ({rec.dropped} dropped)" if rec.dropped else ""
+    print(f"{rec.count()} events{drop}")
+    for kind, path in paths.items():
+        print(f"  {kind:6s} -> {path}")
+    _print_hists({f"hist:{name}": h.summary()
+                  for name, h in session.hists.items() if h.count})
+    if session.samplers:
+        print(render_sampler(session.samplers[0]))
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    from .obs.analyze import analyze_file
+
+    return analyze_file(args.trace, bins=args.bins)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -411,6 +526,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--threads", type=int, default=32)
     p.add_argument("--cores", type=int, default=8)
     p.add_argument("--optimized", action="store_true")
+    p.add_argument("--trace", metavar="BASE",
+                   help="record a scheduling trace to BASE.jsonl + "
+                        "BASE.chrome.json")
     _add_seed(p)
     p.set_defaults(fn=cmd_npb)
 
@@ -420,11 +538,52 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cores", type=int, default=8)
     p.add_argument("--optimized", action="store_true")
     p.add_argument("--pinned", action="store_true")
-    p.add_argument("--trace", metavar="FILE",
-                   help="dump scheduling events to a CSV file")
+    p.add_argument("--trace", metavar="BASE",
+                   help="record a scheduling trace; BASE ending in .csv "
+                        "writes the legacy CSV, anything else writes "
+                        "BASE.jsonl + BASE.chrome.json")
+    p.add_argument("--sample-interval-us", type=float, default=None,
+                   metavar="US",
+                   help="with --trace, sample per-CPU state at this period")
     _add_scale(p, default=1.0)
     _add_seed(p)
     p.set_defaults(fn=cmd_suite)
+
+    p = sub.add_parser(
+        "trace",
+        help="re-run one experiment of a figure/table with full "
+             "observability and ship its trace artifacts",
+    )
+    p.add_argument("section",
+                   help="figure/table key, e.g. fig01 (see `repro trace "
+                        "fig01 --list`)")
+    p.add_argument("--list", action="store_true",
+                   help="list the section's experiment specs and exit")
+    p.add_argument("--index", type=int, default=0,
+                   help="which spec of the section to trace (default 0)")
+    p.add_argument("--spec-id", default=None,
+                   help="select the spec by id instead of --index")
+    p.add_argument("--out", default="trace", metavar="BASE",
+                   help="artifact base name (default 'trace' -> "
+                        "trace.jsonl + trace.chrome.json)")
+    p.add_argument("--quick", action="store_true",
+                   help="use the quick workload scale")
+    p.add_argument("--sample-interval-us", type=float, default=100.0,
+                   metavar="US",
+                   help="interval-sampler period (default 100 us)")
+    p.add_argument("--capacity", type=int, default=None,
+                   help="trace ring-buffer capacity (events)")
+    _add_scale(p, default=None)
+    _add_seed(p)
+    p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser(
+        "analyze", help="summarize a JSONL trace produced by --trace/trace"
+    )
+    p.add_argument("trace", help="path to a .jsonl trace file")
+    p.add_argument("--bins", type=int, default=64,
+                   help="width of the utilization timeline (default 64)")
+    p.set_defaults(fn=cmd_analyze)
 
     return ap
 

@@ -141,6 +141,9 @@ class BwdMonitor:
                 )
                 if lbr.is_spin_signature() and pmc.miss_free:
                     self.stats.true_positives += 1
+                    if kernel.trace.enabled:
+                        kernel.trace.emit(now, "bwd-detect", cpu_id,
+                                          task.name, window=kind.value)
                     self._deschedule(cpu_id, task)
             elif kind is WindowKind.SPIN_PARTIAL:
                 # The LBR shows the spin signature (last branches), but the
@@ -159,6 +162,9 @@ class BwdMonitor:
                 if pmc.miss_free:
                     # Counted as a detection but not toward sensitivity:
                     # ground truth here is ambiguous (it *is* spinning now).
+                    if kernel.trace.enabled:
+                        kernel.trace.emit(now, "bwd-detect", cpu_id,
+                                          task.name, window=kind.value)
                     self._deschedule(cpu_id, task)
             else:
                 self.stats.nonspin_windows += 1
@@ -182,6 +188,9 @@ class BwdMonitor:
                 )
                 if lbr.is_spin_signature() and pmc.miss_free:
                     self.stats.false_positives += 1
+                    if kernel.trace.enabled:
+                        kernel.trace.emit(now, "bwd-detect", cpu_id,
+                                          task.name, window="false-positive")
                     self._deschedule(cpu_id, task)
 
     def _deschedule(self, cpu_id: int, task: "Task") -> None:

@@ -36,6 +36,8 @@ from ..errors import DeadlockError, ProgramError, SimulationError
 from ..hw.memmodel import MemoryModel
 from ..hw.ple import PauseLoopExiting
 from ..hw.topology import Topology
+from ..obs.hist import Log2Histogram
+from ..obs.session import current_session
 from ..prog import actions as A
 from ..sim.engine import Engine
 from ..sim.rng import RngStreams
@@ -102,7 +104,21 @@ class Kernel:
     ):
         self.config = config
         self.engine = engine or Engine()
+        # An enclosing observe() session supplies the recorder (and an
+        # interval sampler) unless the caller passed an explicit trace.
+        self._obs_session = current_session()
+        if trace is None and self._obs_session is not None:
+            trace = self._obs_session.recorder
         self.trace = trace or TraceRecorder(enabled=False)
+        # Always-on latency histograms: O(1) per sample, attached to
+        # RunStats.extra by the metrics collector.
+        self.hists = {
+            name: Log2Histogram(name)
+            for name in ("wakeup_latency_ns", "futex_block_ns",
+                         "bwd_spin_to_deschedule_ns")
+        }
+        self._obs_sampler = None
+        self._obs_reported = False
         self.rng_streams = RngStreams(config.seed)
         self._rng_sched = self.rng_streams.stream("kernel.sched")
 
@@ -156,6 +172,10 @@ class Kernel:
             name="balance",
         )
         self._balance_timer.start()
+
+        # Last: the sampler reads cpus/tasks, which must all exist.
+        if self._obs_session is not None:
+            self._obs_sampler = self._obs_session.attach(self)
 
     # ==================================================================
     # Public API
@@ -238,6 +258,17 @@ class Kernel:
             self.bwd.uninstall()
         if self._ple_timer is not None:
             self._ple_timer.cancel()
+        if self._obs_sampler is not None:
+            self._obs_sampler.stop()
+        self.obs_report()
+
+    def obs_report(self) -> None:
+        """Merge this kernel's histograms into the enclosing observability
+        session (idempotent; called from shutdown and the collector so
+        runners that stop mid-flight still report)."""
+        if self._obs_session is not None and not self._obs_reported:
+            self._obs_session.merge_hists(self.hists)
+            self._obs_reported = True
 
     # ------------------------------------------------------------------
     # Elasticity: runtime CPU reconfiguration
@@ -377,7 +408,9 @@ class Kernel:
         task.last_cpu = cpu.id
         task.on_cpu_since = now
         if task.woken_at is not None:
-            task.stats.wakeup_latency_ns += now - task.woken_at
+            lat = now - task.woken_at
+            task.stats.wakeup_latency_ns += lat
+            self.hists["wakeup_latency_ns"].record(lat)
             task.woken_at = None
         task.skip_flag = False
         cpu.run_started = now + delay
@@ -437,10 +470,18 @@ class Kernel:
             if head is not None and not head.thread_state:
                 # Involuntary preemption at slice expiry.
                 task.stats.nr_involuntary += 1
+                if self.trace.enabled:
+                    self.trace.emit(now, "slice-expiry", cpu.id, task.name,
+                                    preempted=True)
+                    self.trace.emit(now, "preempt", cpu.id, task.name,
+                                    reason="slice-expiry", by=head.name)
                 self._put_prev_runnable(cpu)
                 self._schedule(cpu)
                 return
             # Nothing else runnable: renew the slice in place.
+            if self.trace.enabled:
+                self.trace.emit(now, "slice-expiry", cpu.id, task.name,
+                                preempted=False)
             cpu.slice_end = now + self._calc_slice(cpu)
         self._continue(cpu)
 
@@ -690,6 +731,12 @@ class Kernel:
         bucket.waiters.append(task)
         bucket.total_waits += 1
         task.stats.nr_blocks += 1
+        if self.trace.enabled:
+            self.trace.emit(
+                self.now, "futex-wait",
+                task.cpu if task.cpu is not None else -1, task.name,
+                waiters=len(bucket.waiters), vb=task.block_kind == "vb",
+            )
         return cost
 
     def futex_wait_spin(self, task: Task, obj: Any, spin_ns: int) -> int:
@@ -828,6 +875,16 @@ class Kernel:
             # Interrupt-context processing time.
             first = self._select_wake_cpu_id_safe()
             self.cpus[first].irq_ns += total
+        if self.trace.enabled and woken:
+            wcpu = -1
+            if waker is not None and waker.cpu is not None:
+                wcpu = waker.cpu
+            self.trace.emit(
+                self.now, "futex-wake", wcpu,
+                waker.name if waker is not None else None,
+                woken=woken, remaining=len(bucket.waiters),
+                in_place=in_place, cost_ns=total,
+            )
         return total
 
     def _select_wake_cpu_id_safe(self) -> int:
@@ -933,6 +990,7 @@ class Kernel:
             target = self._select_wake_cpu(task, sync=task.sync_wake)
         cpu = self.cpus[target]
         self._count_migration(task, target, wake=True)
+        self.hists["futex_block_ns"].record(now - task.state_since)
         task.set_state(TaskState.RUNNABLE, now)
         task.block_kind = None
         task.wake_completed = True
@@ -964,6 +1022,7 @@ class Kernel:
                 cpu.rq.min_vruntime
                 - self.config.scheduler.sched_latency_ns // 2,
             )
+        self.hists["futex_block_ns"].record(now - task.state_since)
         task.set_state(TaskState.RUNNABLE, now)
         task.block_kind = None
         task.wake_completed = True
@@ -1008,6 +1067,7 @@ class Kernel:
             target = self._select_wake_cpu(task, sync=task.sync_wake)
         cpu = self.cpus[target]
         self._count_migration(task, target, wake=True)
+        self.hists["futex_block_ns"].record(now - task.state_since)
         task.set_state(TaskState.RUNNABLE, now)
         task.block_kind = None
         task.wake_completed = True
@@ -1042,6 +1102,9 @@ class Kernel:
         gran = self.config.scheduler.wakeup_granularity_ns
         if curr.vruntime - woken.vruntime > gran:
             curr.stats.nr_involuntary += 1
+            if self.trace.enabled:
+                self.trace.emit(self.now, "preempt", cpu.id, curr.name,
+                                reason="wakeup", by=woken.name)
             self._cancel_cpu_event(cpu)
             self._put_prev_runnable(cpu)
             self._schedule(cpu)
@@ -1107,9 +1170,15 @@ class Kernel:
                 if t.thread_state == 0:
                     max_vr = max(max_vr, t.vruntime)
             task.vruntime = max_vr + 1
+        spin_ns = (
+            self.now - max(task.mode_since, task.on_cpu_since)
+            if task.mode is RunMode.SPIN else 0
+        )
+        self.hists["bwd_spin_to_deschedule_ns"].record(spin_ns)
         self._cancel_cpu_event(cpu)
         self._put_prev_runnable(cpu)
-        self.trace.emit(self.now, "bwd-deschedule", cpu_id, task.name)
+        self.trace.emit(self.now, "bwd-deschedule", cpu_id, task.name,
+                        spin_ns=spin_ns)
         self._schedule(cpu)
 
     def _ple_tick(self, now: int) -> None:
@@ -1198,6 +1267,11 @@ class Kernel:
         if len(self._online) < 2:
             return
         sched = self.config.scheduler
+        if self.trace.enabled:
+            self.trace.emit(
+                now, "balance-scan", -1, None,
+                loads=[self.cpus[c].rq.nr_running for c in self._online],
+            )
         for _ in range(4):  # bounded work per tick
             loads = [(self.cpus[c].rq.nr_running, c) for c in self._online]
             busiest_load, busiest_id = max(loads)

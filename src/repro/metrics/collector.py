@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -55,11 +55,20 @@ class RunStats:
     bwd_sensitivity: float
     bwd_specificity: float
     per_cpu: tuple = ()
-    extra: dict = field(default_factory=dict)
+    # Auxiliary metrics as nested (key, ((stat, value), ...)) tuples — fully
+    # immutable, so the frozen dataclass stays hashable and the value
+    # round-trips losslessly through the JSON result cache (the previous
+    # mutable-dict default broke both).
+    extra: tuple = ()
 
     @property
     def total_migrations(self) -> int:
         return self.migrations_in_node + self.migrations_cross_node
+
+    @property
+    def extra_dict(self) -> dict:
+        """``extra`` as the nested dict the JSON artifacts carry."""
+        return {key: dict(items) for key, items in self.extra}
 
 
 def collect(kernel: "Kernel") -> RunStats:
@@ -67,6 +76,12 @@ def collect(kernel: "Kernel") -> RunStats:
     wakeups = sum(t.stats.nr_wakeups for t in tasks)
     wake_lat = sum(t.stats.wakeup_latency_ns for t in tasks)
     bwd = kernel.bwd
+    kernel.obs_report()  # flush histograms to any enclosing observe()
+    extra = tuple(
+        (f"hist:{name}", tuple(sorted(hist.summary().items())))
+        for name, hist in sorted(kernel.hists.items())
+        if hist.count
+    )
     return RunStats(
         wall_ns=kernel.now - kernel.start_time,
         cpu_utilization_pct=kernel.cpu_utilization_percent(),
@@ -100,4 +115,5 @@ def collect(kernel: "Kernel") -> RunStats:
             )
             for c in kernel.online_cpus()
         ),
+        extra=extra,
     )

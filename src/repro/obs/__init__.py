@@ -1,0 +1,12 @@
+"""Simulation-native observability: tracing, sampling, histograms.
+
+Import surface is deliberately small — :mod:`repro.kernel.kernel` imports
+this package at module load, so only leaf modules (``hist``, ``session``)
+are pulled in eagerly; exporters, the sampler, and the analyzer load
+lazily at their call sites.
+"""
+
+from .hist import Log2Histogram
+from .session import ObsSession, current_session, observe
+
+__all__ = ["Log2Histogram", "ObsSession", "current_session", "observe"]

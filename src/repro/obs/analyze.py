@@ -1,0 +1,176 @@
+"""Offline trace analysis: ``python -m repro analyze <trace.jsonl>``.
+
+Reconstructs scheduler behavior from a JSONL trace alone — no simulator
+state needed: event-kind counts, wakeup-latency percentiles (wake →
+next dispatch of the same task, exact nearest-rank over raw values),
+blocked-time statistics, and a per-CPU utilization timeline binned from
+run spans.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+from typing import Any, Sequence, TextIO
+
+from ..sim.trace import TraceEvent, TraceRecorder
+from .timeline import DEFAULT_WIDTH, render_util_timeline
+
+
+def load_jsonl(path: str) -> tuple[dict[str, Any], list[TraceEvent]]:
+    """Read a trace written by :func:`repro.obs.export.write_jsonl`."""
+    meta: dict[str, Any] = {}
+    events: list[TraceEvent] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            d = json.loads(line)
+            if d.get("type") == "meta":
+                meta = d
+                continue
+            events.append(TraceEvent(
+                time=int(d["t"]), kind=d["kind"], cpu=int(d["cpu"]),
+                task=d.get("task"), detail=d.get("detail") or {},
+            ))
+    return meta, events
+
+
+def recorder_from(events: Sequence[TraceEvent]) -> TraceRecorder:
+    """Wrap loaded events back into a recorder for span derivation."""
+    rec = TraceRecorder(enabled=True, capacity=max(1, len(events)))
+    rec.events.extend(events)
+    return rec
+
+
+def wakeup_latencies(events: Sequence[TraceEvent]) -> list[int]:
+    """wake -> next dispatch of the same task, in ns."""
+    pending: dict[str, int] = {}
+    lats: list[int] = []
+    for e in events:
+        if e.task is None:
+            continue
+        if e.kind == "wake":
+            pending[e.task] = e.time
+        elif e.kind == "dispatch" and e.task in pending:
+            lats.append(e.time - pending.pop(e.task))
+    return lats
+
+
+def percentile(sorted_values: Sequence[int], pct: float) -> float:
+    """Nearest-rank percentile over pre-sorted raw values."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, math.ceil(pct / 100.0 * len(sorted_values)))
+    return float(sorted_values[rank - 1])
+
+
+def cpu_utilization_bins(
+    events: Sequence[TraceEvent], bins: int = DEFAULT_WIDTH
+) -> tuple[dict[int, list[float]], int, int]:
+    """Busy fraction per CPU per time bin, from run spans."""
+    rec = recorder_from(events)
+    spans = rec.run_spans()
+    if not events:
+        return {}, 0, 0
+    t0 = events[0].time
+    t1 = max(events[-1].time, t0 + 1)
+    width = (t1 - t0) / bins
+    util: dict[int, list[float]] = {}
+    for span in spans:
+        if span.cpu < 0:
+            continue
+        row = util.setdefault(span.cpu, [0.0] * bins)
+        lo = max(span.start, t0)
+        hi = min(span.end, t1)
+        if hi <= lo:
+            continue
+        first = min(bins - 1, int((lo - t0) / width))
+        last = min(bins - 1, int((hi - t0) / width))
+        for b in range(first, last + 1):
+            b_lo = t0 + b * width
+            b_hi = b_lo + width
+            overlap = min(hi, b_hi) - max(lo, b_lo)
+            if overlap > 0:
+                row[b] = min(1.0, row[b] + overlap / width)
+    # CPUs that only ever appear in instant events still get an empty row.
+    for e in events:
+        if e.cpu >= 0 and e.kind == "dispatch":
+            util.setdefault(e.cpu, [0.0] * bins)
+    return util, t0, t1
+
+
+def _lat_line(label: str, values: list[int]) -> list[Any]:
+    values.sort()
+    return [
+        label, len(values),
+        percentile(values, 50) / 1e3, percentile(values, 95) / 1e3,
+        percentile(values, 99) / 1e3,
+        (values[-1] / 1e3) if values else 0.0,
+    ]
+
+
+def render_analysis(
+    meta: dict[str, Any],
+    events: Sequence[TraceEvent],
+    out: TextIO | None = None,
+    bins: int = DEFAULT_WIDTH,
+) -> None:
+    out = out if out is not None else sys.stdout
+    from ..runners.report import format_table  # lazy: avoid runner imports
+
+    spec = meta.get("spec")
+    head = f"trace: {len(events)} events"
+    if meta.get("dropped"):
+        head += (f", {meta['dropped']} dropped at the ring buffer "
+                 f"(capacity {meta.get('capacity')}) — earliest events "
+                 "are missing")
+    if spec:
+        head += f" [spec {spec}]"
+    print(head, file=out)
+    if not events:
+        return
+    span_ns = events[-1].time - events[0].time
+    print(f"window: {events[0].time / 1e6:.3f} .. "
+          f"{events[-1].time / 1e6:.3f} ms ({span_ns / 1e6:.3f} ms)",
+          file=out)
+
+    counts: dict[str, int] = {}
+    for e in events:
+        counts[e.kind] = counts.get(e.kind, 0) + 1
+    print(format_table(
+        ["kind", "count"],
+        [[k, counts[k]] for k in sorted(counts)],
+        title="event counts",
+    ), file=out)
+
+    rec = recorder_from(events)
+    lat_rows = []
+    lats = wakeup_latencies(events)
+    if lats:
+        lat_rows.append(_lat_line("wakeup latency", lats))
+    blocked = [s.duration for s in rec.block_spans()]
+    if blocked:
+        lat_rows.append(_lat_line("blocked time", blocked))
+    spins = [s.duration for s in rec.bwd_spans()]
+    if spins:
+        lat_rows.append(_lat_line("BWD spin-to-deschedule", spins))
+    if lat_rows:
+        print(format_table(
+            ["metric", "n", "p50 (us)", "p95 (us)", "p99 (us)", "max (us)"],
+            lat_rows, title="latency distributions", float_fmt="{:.1f}",
+        ), file=out)
+
+    util, t0, t1 = cpu_utilization_bins(events, bins=bins)
+    if util:
+        print(file=out)
+        print(render_util_timeline(util, t0, t1, width=bins), file=out)
+
+
+def analyze_file(path: str, out: TextIO | None = None,
+                 bins: int = DEFAULT_WIDTH) -> int:
+    meta, events = load_jsonl(path)
+    render_analysis(meta, events, out=out, bins=bins)
+    return 0

@@ -1,0 +1,134 @@
+"""Trace exporters: JSONL (machine-readable) and Chrome ``trace_event``.
+
+JSONL is the canonical on-disk format consumed by ``python -m repro
+analyze``: a meta line followed by one compact, key-sorted JSON object per
+event — byte-identical for identical (config, seed) regardless of worker
+process, ``--jobs`` value, or cache state.
+
+The Chrome format loads in Perfetto (https://ui.perfetto.dev) and
+``chrome://tracing``: one track (tid) per simulated CPU showing task
+occupancy as complete ("X") events, instants for wakes / futex ops / BWD
+activity, and counter ("C") tracks for virtually-blocked threads and
+cumulative BWD deschedules.  Timestamps are microseconds (the format's
+unit); durations under 1 us render as sub-unit slices.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.trace import TraceEvent, TraceRecorder
+
+_COMPACT = {"sort_keys": True, "separators": (",", ":")}
+
+#: Event kinds rendered as instant markers on their CPU's track.
+_INSTANT_KINDS = frozenset({
+    "wake", "preempt", "slice-expiry", "futex-wait", "futex-wake",
+    "balance", "balance-scan", "idle-pull", "bwd-deschedule", "bwd-detect",
+})
+
+
+def write_jsonl(recorder: "TraceRecorder", path: str,
+                meta: dict[str, Any] | None = None) -> int:
+    """Write the ring buffer as JSONL; returns the event count."""
+    head: dict[str, Any] = {
+        "type": "meta",
+        "events": len(recorder.events),
+        "dropped": recorder.dropped,
+        "capacity": recorder.capacity,
+    }
+    if meta:
+        head.update(meta)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps(head, **_COMPACT) + "\n")
+        for e in recorder.events:
+            fh.write(json.dumps(
+                {"t": e.time, "kind": e.kind, "cpu": e.cpu,
+                 "task": e.task, "detail": e.detail},
+                **_COMPACT) + "\n")
+    return len(recorder.events)
+
+
+def _tid_name(cpu: int) -> str:
+    return "kernel" if cpu < 0 else f"cpu {cpu}"
+
+
+def chrome_trace(recorder: "TraceRecorder") -> list[dict[str, Any]]:
+    """Build the ``traceEvents`` list for one recorder."""
+    out: list[dict[str, Any]] = []
+    cpus = sorted({e.cpu for e in recorder.events})
+    for cpu in cpus:
+        out.append({"ph": "M", "pid": 1, "tid": cpu, "name": "thread_name",
+                    "args": {"name": _tid_name(cpu)}})
+        out.append({"ph": "M", "pid": 1, "tid": cpu,
+                    "name": "thread_sort_index",
+                    "args": {"sort_index": cpu}})
+    for span in recorder.run_spans():
+        out.append({
+            "ph": "X", "pid": 1, "tid": span.cpu, "cat": "run",
+            "name": span.task or "?",
+            "ts": span.start / 1000.0, "dur": span.duration / 1000.0,
+            "args": {"end": span.end_kind},
+        })
+    for span in recorder.bwd_spans():
+        out.append({
+            "ph": "X", "pid": 1, "tid": span.cpu, "cat": "bwd-spin",
+            "name": f"spin:{span.task or '?'}",
+            "ts": span.start / 1000.0, "dur": span.duration / 1000.0,
+            "args": dict(span.detail),
+        })
+    vb_blocked = 0
+    bwd_total = 0
+    for e in recorder.events:
+        if e.kind in _INSTANT_KINDS:
+            out.append({
+                "ph": "i", "pid": 1, "tid": e.cpu, "s": "t",
+                "name": e.kind, "cat": "sched", "ts": e.time / 1000.0,
+                "args": {"task": e.task, **e.detail},
+            })
+        if e.kind == "park" and e.detail.get("how") == "vb":
+            vb_blocked += 1
+        elif e.kind == "wake" and e.detail.get("how") in ("vb", "vb-placed"):
+            vb_blocked = max(0, vb_blocked - 1)
+        elif e.kind != "bwd-deschedule":
+            continue
+        if e.kind == "bwd-deschedule":
+            bwd_total += 1
+            out.append({"ph": "C", "pid": 1, "name": "bwd-deschedules",
+                        "ts": e.time / 1000.0,
+                        "args": {"total": bwd_total}})
+        else:
+            out.append({"ph": "C", "pid": 1, "name": "vb-blocked",
+                        "ts": e.time / 1000.0,
+                        "args": {"threads": vb_blocked}})
+    return out
+
+
+def write_chrome(recorder: "TraceRecorder", path: str) -> int:
+    """Write a Perfetto-loadable Chrome trace; returns the entry count."""
+    events = chrome_trace(recorder)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump({"traceEvents": events, "displayTimeUnit": "ms"},
+                  fh, sort_keys=True, separators=(",", ":"))
+    return len(events)
+
+
+def write_artifacts(recorder: "TraceRecorder", base: str,
+                    meta: dict[str, Any] | None = None) -> dict[str, str]:
+    """Write the standard artifact pair next to ``base``.
+
+    ``base`` ending in ``.csv`` keeps the legacy single-file CSV;
+    otherwise ``<base>.jsonl`` + ``<base>.chrome.json`` are written
+    (a trailing ``.jsonl`` on ``base`` is stripped first).
+    """
+    if base.endswith(".csv"):
+        recorder.to_csv(base)
+        return {"csv": base}
+    if base.endswith(".jsonl"):
+        base = base[: -len(".jsonl")]
+    paths = {"jsonl": base + ".jsonl", "chrome": base + ".chrome.json"}
+    write_jsonl(recorder, paths["jsonl"], meta)
+    write_chrome(recorder, paths["chrome"])
+    return paths

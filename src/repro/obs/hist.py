@@ -1,0 +1,112 @@
+"""Log2-bucketed latency histograms.
+
+The kernel's latency probes (wakeup latency, futex block time, BWD
+spin-to-deschedule) record into :class:`Log2Histogram`: O(1) per sample,
+fixed memory regardless of run length, and mergeable across kernels — the
+properties an always-on probe needs.  Bucket ``b`` holds values ``v`` with
+``2**(b-1) <= v < 2**b`` (``v == 0`` lands in bucket 0), i.e. the bucket
+index is ``int(v).bit_length()``.
+
+Percentiles are nearest-rank over buckets, reported as the bucket's upper
+bound clamped to the observed min/max — a conservative estimate whose
+error is bounded by the bucket width (< 2x), which is plenty for the
+p50/p95/p99 tables the report prints.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+
+class Log2Histogram:
+    """Histogram of non-negative integer samples (nanoseconds)."""
+
+    __slots__ = ("name", "counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.counts: dict[int, int] = {}  # bucket exponent -> sample count
+        self.count = 0
+        self.total = 0
+        self.min = 0
+        self.max = 0
+
+    def record(self, value: int) -> None:
+        v = int(value)
+        if v < 0:
+            v = 0
+        b = v.bit_length()
+        self.counts[b] = self.counts.get(b, 0) + 1
+        if self.count == 0 or v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+        self.count += 1
+        self.total += v
+
+    def percentile(self, pct: float) -> float:
+        """Nearest-rank percentile, resolved to the bucket upper bound."""
+        if not 0.0 <= pct <= 100.0:
+            raise ValueError(f"percentile {pct} out of [0, 100]")
+        if not self.count:
+            return 0.0
+        rank = max(1, math.ceil(pct / 100.0 * self.count))
+        cum = 0
+        for b in sorted(self.counts):
+            cum += self.counts[b]
+            if cum >= rank:
+                hi = (1 << b) - 1 if b > 0 else 0
+                return float(max(self.min, min(self.max, hi)))
+        return float(self.max)  # pragma: no cover - rank <= count
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict[str, Any]:
+        """JSON-pure summary attached to ``RunStats.extra``."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "min": float(self.min),
+            "max": float(self.max),
+        }
+
+    def merge(self, other: "Log2Histogram") -> None:
+        if not other.count:
+            return
+        for b, n in other.counts.items():
+            self.counts[b] = self.counts.get(b, 0) + n
+        if self.count == 0 or other.min < self.min:
+            self.min = other.min
+        self.max = max(self.max, other.max)
+        self.count += other.count
+        self.total += other.total
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "buckets": {str(b): self.counts[b] for b in sorted(self.counts)},
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "Log2Histogram":
+        h = cls(d.get("name", ""))
+        h.count = int(d["count"])
+        h.total = int(d["total"])
+        h.min = int(d["min"])
+        h.max = int(d["max"])
+        h.counts = {int(b): int(n) for b, n in d["buckets"].items()}
+        return h
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Log2Histogram {self.name} n={self.count} "
+                f"p50={self.percentile(50):.0f} max={self.max}>")

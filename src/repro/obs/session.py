@@ -1,0 +1,88 @@
+"""Observability sessions: thread tracing through kernels without plumbing.
+
+A :class:`ObsSession` bundles a shared :class:`TraceRecorder`, an optional
+sampling interval, and the latency histograms merged out of every kernel
+that ran inside the session.  Sessions form a stack (nested ``observe()``
+blocks are allowed; the innermost wins): :class:`~repro.kernel.kernel.Kernel`
+checks :func:`current_session` at construction time, so existing runner
+functions pick up tracing without any signature changes::
+
+    with observe(sample_interval_us=100) as sess:
+        run = run_suite_benchmark(prof, 32, config)   # traced
+    sess.recorder.to_chrome("run.chrome.json")
+
+The stack is per-process module state — each worker process of the parallel
+runner opens its own session around its spec, so traces never interleave.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator
+
+from ..sim.trace import DEFAULT_CAPACITY, TraceRecorder
+from .hist import Log2Histogram
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..kernel.kernel import Kernel
+    from .sampler import Sampler
+
+_STACK: list["ObsSession"] = []
+
+
+class ObsSession:
+    """Shared observability state for every kernel built inside it."""
+
+    def __init__(
+        self,
+        recorder: TraceRecorder,
+        sample_interval_ns: int | None = None,
+    ):
+        self.recorder = recorder
+        self.sample_interval_ns = sample_interval_ns
+        self.samplers: list["Sampler"] = []
+        self.hists: dict[str, Log2Histogram] = {}
+
+    def attach(self, kernel: "Kernel") -> "Sampler | None":
+        """Called by ``Kernel.__init__``: start a sampler if requested."""
+        if not self.sample_interval_ns:
+            return None
+        from .sampler import Sampler  # lazy: avoids a kernel<->obs cycle
+
+        sampler = Sampler(kernel, self.sample_interval_ns)
+        sampler.start()
+        self.samplers.append(sampler)
+        return sampler
+
+    def merge_hists(self, hists: dict[str, Log2Histogram]) -> None:
+        for name, h in hists.items():
+            mine = self.hists.get(name)
+            if mine is None:
+                mine = Log2Histogram(name)
+                self.hists[name] = mine
+            mine.merge(h)
+
+
+def current_session() -> ObsSession | None:
+    return _STACK[-1] if _STACK else None
+
+
+@contextmanager
+def observe(
+    sample_interval_us: float | None = None,
+    capacity: int | None = None,
+    kinds: set[str] | None = None,
+    recorder: TraceRecorder | None = None,
+) -> Iterator[ObsSession]:
+    """Trace every kernel constructed inside the ``with`` block."""
+    rec = recorder or TraceRecorder(enabled=True, kinds=kinds,
+                                    capacity=capacity or DEFAULT_CAPACITY)
+    interval_ns = (
+        int(sample_interval_us * 1_000) if sample_interval_us else None
+    )
+    session = ObsSession(rec, sample_interval_ns=interval_ns)
+    _STACK.append(session)
+    try:
+        yield session
+    finally:
+        _STACK.pop()

@@ -1,0 +1,83 @@
+"""Terminal timeline rendering: per-CPU utilization as an ASCII heatmap.
+
+Each CPU is one row; time runs left to right, rebinned to the terminal
+width.  Cell glyphs map [0, 1] utilization through a ten-level ramp::
+
+    cpu  0 |@@@@%%##==--..    | 61.3%
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+LEVELS = " .:-=+*#%@"
+DEFAULT_WIDTH = 64
+
+
+def rebin(values: Sequence[float], width: int) -> list[float]:
+    """Average ``values`` down (or pass through) to at most ``width`` bins."""
+    n = len(values)
+    if n == 0:
+        return []
+    if n <= width:
+        return [float(v) for v in values]
+    out = []
+    for j in range(width):
+        lo = j * n // width
+        hi = max(lo + 1, (j + 1) * n // width)
+        seg = values[lo:hi]
+        out.append(sum(seg) / len(seg))
+    return out
+
+
+def heat_row(values: Sequence[float], width: int = DEFAULT_WIDTH) -> str:
+    cells = rebin(values, width)
+    top = len(LEVELS) - 1
+    return "".join(
+        LEVELS[max(0, min(top, int(v * len(LEVELS))))] for v in cells
+    )
+
+
+def render_util_timeline(
+    util_by_cpu: dict[int, Sequence[float]],
+    t0_ns: int,
+    t1_ns: int,
+    width: int = DEFAULT_WIDTH,
+) -> str:
+    """Multi-row heatmap of per-CPU utilization over [t0, t1]."""
+    lines = [
+        f"per-CPU utilization, {t0_ns / 1e6:.2f} .. {t1_ns / 1e6:.2f} ms "
+        f"(each cell {'~' if width else ''}"
+        f"{max(0, t1_ns - t0_ns) / max(1, width) / 1e3:.0f} us)"
+    ]
+    for cpu_id in sorted(util_by_cpu):
+        series = util_by_cpu[cpu_id]
+        mean = (sum(series) / len(series) * 100.0) if len(series) else 0.0
+        lines.append(
+            f"cpu {cpu_id:3d} |{heat_row(series, width)}| {mean:5.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def render_sampler(sampler, width: int = DEFAULT_WIDTH) -> str:
+    """Timeline straight from a :class:`~repro.obs.sampler.Sampler`."""
+    if not sampler.times:
+        return "(no samples recorded)"
+    online = set(sampler.kernel.online_cpus())
+    util = {
+        i: sampler.util[i]
+        for i in range(len(sampler.util))
+        if i in online or any(sampler.util[i])
+    }
+    t0 = sampler.times[0] - sampler.interval_ns
+    body = render_util_timeline(util, max(0, t0), sampler.times[-1], width)
+    spin = sum(sum(s) for s in sampler.spin)
+    extra = (
+        f"samples: {sampler.samples} x {sampler.interval_ns / 1e3:.0f} us"
+        f"{' (truncated)' if sampler.truncated else ''}; "
+        f"spinning-CPU samples: {spin}; "
+        f"peak VB-blocked: {max(sampler.vb_blocked, default=0)}; "
+        f"BWD deschedules: "
+        f"{sampler.bwd_deschedules[-1] if sampler.bwd_deschedules else 0}"
+    )
+    return body + "\n" + extra

@@ -271,17 +271,28 @@ def _render_fig09(p: ReportParams, res: dict, out: TextIO) -> None:
             migr_cross_32t=s32["migrations_cross_node"],
             migr_cross_opt=sop["migrations_cross_node"],
         ))
+    def wake_p99_us(stats: dict) -> str:
+        hist = (stats.get("extra") or {}).get("hist:wakeup_latency_ns")
+        return f"{hist['p99'] / 1e3:.0f}" if hist else "-"
+
+    wake_cols = [
+        "/".join(wake_p99_us(res[f"fig09/{r.name}/{k}"]["stats"])
+                 for k in _FIG09_SETTINGS)
+        for r in rows
+    ]
     print(format_table(
         ["app", "32T/8T vanilla", "32T/8T optimized", "util 8T/32T/Opt",
-         "in-migr 8T/32T/Opt", "x-migr 8T/32T/Opt"],
+         "in-migr 8T/32T/Opt", "x-migr 8T/32T/Opt",
+         "wake p99 8T/32T/Opt (us)"],
         [
             [
                 r.name, r.vanilla_ratio, r.optimized_ratio,
                 f"{r.util_8t:.0f}/{r.util_32t:.0f}/{r.util_opt:.0f}",
                 f"{r.migr_in_8t}/{r.migr_in_32t}/{r.migr_in_opt}",
                 f"{r.migr_cross_8t}/{r.migr_cross_32t}/{r.migr_cross_opt}",
+                wake,
             ]
-            for r in rows
+            for r, wake in zip(rows, wake_cols)
         ],
     ), file=out)
 
@@ -722,6 +733,12 @@ def add_report_flags(ap: argparse.ArgumentParser) -> None:
     ap.add_argument("--seed", type=int, default=2021)
     ap.add_argument("--timeout", type=float, default=DEFAULT_TIMEOUT_S,
                     metavar="SECONDS", help="per-experiment timeout")
+    ap.add_argument("--trace-dir", default=None, metavar="DIR",
+                    help="ship one JSONL scheduling trace per spec into DIR "
+                         "(disables cache reads so every trace is fresh)")
+    ap.add_argument("--sample-interval-us", type=float, default=None,
+                    metavar="US", help="also run the interval sampler at "
+                                       "this period (requires --trace-dir)")
 
 
 def run_full_report(
@@ -735,6 +752,8 @@ def run_full_report(
     timeout_s: float | None = DEFAULT_TIMEOUT_S,
     out: TextIO | None = None,
     progress_out: TextIO | None = None,
+    trace_dir: str | None = None,
+    sample_interval_us: float | None = None,
 ) -> int:
     """Regenerate every table and figure via the parallel runner."""
     out = out if out is not None else sys.stdout
@@ -759,18 +778,21 @@ def run_full_report(
         if st.completed != st.total and st.elapsed_s - last_tick[0] < min_interval:
             return
         last_tick[0] = st.elapsed_s
+        phase = f"{st.phase} " if st.phase else ""
         line = (
-            f"[{st.completed}/{st.total}] {st.elapsed_s:.1f}s elapsed, "
+            f"[{phase}{st.completed}/{st.total}] {st.elapsed_s:.1f}s "
+            f"elapsed, {st.rate:.1f} spec/s, "
             f"{st.cache_hits} cache hits, {st.executed} simulated"
         )
         if is_tty:
-            print("\r" + line, end="", file=progress_out, flush=True)
+            print("\r" + line.ljust(78), end="", file=progress_out, flush=True)
         else:
             print(line, file=progress_out, flush=True)
 
     runner = ParallelRunner(
         jobs=jobs, cache_dir=cache_dir, use_cache=use_cache,
         timeout_s=timeout_s, progress=progress,
+        trace_dir=trace_dir, sample_interval_us=sample_interval_us,
     )
     values = runner.run(specs)
     if is_tty:
@@ -817,4 +839,6 @@ def main_from_args(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         results_path=args.results,
         timeout_s=args.timeout,
+        trace_dir=getattr(args, "trace_dir", None),
+        sample_interval_us=getattr(args, "sample_interval_us", None),
     )

@@ -129,6 +129,8 @@ def _stats_dict(stats) -> dict:
         "blocks": stats.blocks,
         "total_cpu_ns": stats.total_cpu_ns,
         "total_spin_ns": stats.total_spin_ns,
+        # Latency-histogram summaries ("hist:wakeup_latency_ns", ...).
+        "extra": stats.extra_dict,
     }
 
 
@@ -304,12 +306,22 @@ def _alarm_handler(_signum, _frame):  # pragma: no cover - fires in workers
     raise TimeoutError("spec exceeded its timeout")
 
 
-def execute_spec(payload: dict, timeout_s: float | None) -> dict:
+def trace_artifact_name(spec_id: str) -> str:
+    """Filesystem-safe per-spec trace file name."""
+    return spec_id.replace("/", "__") + ".jsonl"
+
+
+def execute_spec(payload: dict, timeout_s: float | None,
+                 obs: dict | None = None) -> dict:
     """Worker entry point: run one spec with an in-process timeout.
 
     The timeout is enforced with ``SIGALRM`` inside the worker (POSIX), so
     a hung simulation interrupts itself and the pool stays alive instead of
     needing to be torn down.
+
+    ``obs`` (keys ``trace_dir``, ``sample_interval_us``, ``capacity``)
+    wraps the run in an ``observe()`` session and ships the trace as
+    ``<trace_dir>/<id with '/' -> '__'>.jsonl``.
     """
     fn = RUNNERS.get(payload["runner"])
     if fn is None:
@@ -324,7 +336,25 @@ def execute_spec(payload: dict, timeout_s: float | None) -> dict:
         old = signal.signal(signal.SIGALRM, _alarm_handler)
         signal.setitimer(signal.ITIMER_REAL, timeout_s)
     try:
-        return fn(**payload["params"])
+        if not obs:
+            return fn(**payload["params"])
+        from ..obs.session import observe
+        from ..sim.trace import DEFAULT_CAPACITY
+
+        with observe(
+            sample_interval_us=obs.get("sample_interval_us"),
+            capacity=obs.get("capacity") or DEFAULT_CAPACITY,
+        ) as session:
+            result = fn(**payload["params"])
+        trace_dir = obs.get("trace_dir")
+        if trace_dir:
+            os.makedirs(trace_dir, exist_ok=True)
+            path = os.path.join(trace_dir,
+                                trace_artifact_name(payload["id"]))
+            session.recorder.to_jsonl(
+                path, meta={"spec": payload["id"], "seed": payload["seed"]}
+            )
+        return result
     finally:
         if use_alarm:
             signal.setitimer(signal.ITIMER_REAL, 0.0)
@@ -342,10 +372,17 @@ class RunnerStats:
     executed: int = 0
     retried: int = 0
     started_at: float = 0.0
+    phase: str = ""  # spec-id prefix of the last completed spec ("fig09")
 
     @property
     def elapsed_s(self) -> float:
         return time.monotonic() - self.started_at
+
+    @property
+    def rate(self) -> float:
+        """Completed specs per second of wall clock."""
+        elapsed = self.elapsed_s
+        return self.completed / elapsed if elapsed > 0 else 0.0
 
 
 class ParallelRunner:
@@ -367,6 +404,9 @@ class ParallelRunner:
         retries: int = 1,
         progress: Callable[[RunnerStats], None] | None = None,
         version: str | None = None,
+        trace_dir: str | os.PathLike | None = None,
+        sample_interval_us: float | None = None,
+        trace_capacity: int | None = None,
     ) -> None:
         self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
         self.cache_dir = str(cache_dir) if cache_dir is not None else None
@@ -375,7 +415,17 @@ class ParallelRunner:
         self.retries = retries
         self.progress = progress
         self.version = version if version is not None else __version__
+        self.trace_dir = str(trace_dir) if trace_dir is not None else None
+        self.sample_interval_us = sample_interval_us
+        self.trace_capacity = trace_capacity
         self.stats = RunnerStats()
+
+    def _obs(self) -> dict | None:
+        if self.trace_dir is None and self.sample_interval_us is None:
+            return None
+        return {"trace_dir": self.trace_dir,
+                "sample_interval_us": self.sample_interval_us,
+                "capacity": self.trace_capacity}
 
     # -- cache ---------------------------------------------------------
     def _cache_path(self, spec: ExperimentSpec) -> str:
@@ -384,6 +434,11 @@ class ParallelRunner:
 
     def cache_load(self, spec: ExperimentSpec) -> Any | None:
         if not self.use_cache:
+            return None
+        if self.trace_dir is not None:
+            # A cache hit has no trace to ship: re-simulate (results are
+            # bit-identical anyway) so every spec gets its artifact and the
+            # trace bytes match the cold-cache run.
             return None
         try:
             with open(self._cache_path(spec), "r", encoding="utf-8") as f:
@@ -429,6 +484,7 @@ class ParallelRunner:
                 done[i] = True
                 self.stats.cache_hits += 1
                 self.stats.completed += 1
+                self.stats.phase = spec.id.split("/", 1)[0]
                 self._tick()
 
         pending = [i for i in range(len(specs)) if not done[i]]
@@ -446,6 +502,7 @@ class ParallelRunner:
         self.cache_store(spec, value)
         self.stats.executed += 1
         self.stats.completed += 1
+        self.stats.phase = spec.id.split("/", 1)[0]
         self._tick()
 
     def _run_inline(self, specs, results, pending) -> None:
@@ -455,7 +512,8 @@ class ParallelRunner:
                 if attempt:
                     self.stats.retried += 1
                 try:
-                    value = execute_spec(specs[i].payload(), self.timeout_s)
+                    value = execute_spec(specs[i].payload(), self.timeout_s,
+                                         self._obs())
                 except Exception as exc:
                     last_exc = exc
                     continue
@@ -483,7 +541,7 @@ class ParallelRunner:
             with ProcessPoolExecutor(max_workers=self.jobs) as pool:
                 futures = {
                     pool.submit(execute_spec, specs[i].payload(),
-                                self.timeout_s): i
+                                self.timeout_s, self._obs()): i
                     for i in todo
                 }
                 for fut in as_completed(futures):

@@ -1,0 +1,352 @@
+"""Observability subsystem: histograms, bounded tracing, spans, sampler
+neutrality, exporters, the analysis pipeline, and the trace/analyze CLI."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro import vanilla_config
+from repro.config import optimized_config
+from repro.kernel import Kernel
+from repro.metrics import collect
+from repro.obs import Log2Histogram, current_session, observe
+from repro.obs.analyze import (
+    cpu_utilization_bins,
+    load_jsonl,
+    render_analysis,
+    wakeup_latencies,
+)
+from repro.obs.export import chrome_trace, write_artifacts, write_jsonl
+from repro.obs.timeline import heat_row, rebin, render_sampler
+from repro.sim.trace import TraceRecorder
+from repro.workloads import profile, run_suite_benchmark
+
+
+def small_run(threads: int = 8, cores: int = 4, seed: int = 7,
+              optimized: bool = False, work_scale: float = 0.05):
+    cfg = (optimized_config(cores=cores, seed=seed) if optimized
+           else vanilla_config(cores=cores, seed=seed))
+    return run_suite_benchmark(profile("is"), threads, cfg,
+                               work_scale=work_scale)
+
+
+# ---------------------------------------------------------------------
+# log2 histograms
+# ---------------------------------------------------------------------
+def test_hist_buckets_and_summary():
+    h = Log2Histogram("lat")
+    for v in (0, 1, 3, 1000, 1_000_000):
+        h.record(v)
+    assert h.count == 5
+    assert h.min == 0 and h.max == 1_000_000
+    assert h.mean == pytest.approx(1_001_004 / 5)
+    s = h.summary()
+    assert s["count"] == 5 and s["max"] == 1_000_000.0
+    json.dumps(s)  # JSON-pure
+
+
+def test_hist_percentile_semantics():
+    h = Log2Histogram()
+    assert h.percentile(99) == 0.0  # empty
+    for _ in range(99):
+        h.record(10)
+    h.record(100_000)
+    # p50 resolves to the 10-bucket's upper bound, clamped to observed max
+    assert h.percentile(50) <= 15  # 10 lands in bucket 4 (upper bound 15)
+    assert h.percentile(50) >= 10  # ... clamped to observed min
+    assert h.percentile(100) == 100_000.0
+    with pytest.raises(ValueError):
+        h.percentile(101)
+
+
+def test_hist_negative_clamped_to_zero():
+    h = Log2Histogram()
+    h.record(-5)
+    assert h.min == 0 and h.max == 0 and h.count == 1
+
+
+def test_hist_merge_and_roundtrip():
+    a, b = Log2Histogram("x"), Log2Histogram("x")
+    for v in (5, 50, 500):
+        a.record(v)
+    for v in (1, 5_000):
+        b.record(v)
+    a.merge(b)
+    assert a.count == 5
+    assert a.min == 1 and a.max == 5_000
+    c = Log2Histogram.from_dict(a.to_dict())
+    assert c.counts == a.counts and c.total == a.total
+    assert c.percentile(99) == a.percentile(99)
+    # merging an empty histogram is a no-op
+    before = a.to_dict()
+    a.merge(Log2Histogram())
+    assert a.to_dict() == before
+
+
+# ---------------------------------------------------------------------
+# bounded ring buffer + CSV detail encoding
+# ---------------------------------------------------------------------
+def test_ring_buffer_bounds_memory_and_counts_drops():
+    tr = TraceRecorder(enabled=True, capacity=10)
+    for i in range(25):
+        tr.emit(i, "dispatch", 0, f"t{i}")
+    assert len(tr.events) == 10
+    assert tr.dropped == 15
+    assert tr.events[0].time == 15  # oldest events were evicted
+    tr.clear()
+    assert tr.dropped == 0 and tr.count() == 0
+
+
+def test_trace_capacity_validated():
+    with pytest.raises(ValueError):
+        TraceRecorder(capacity=0)
+
+
+def test_csv_detail_survives_separator_characters(tmp_path):
+    tr = TraceRecorder(enabled=True)
+    tr.emit(5, "wake", 1, "a", note="k=v;x=y", how="vb")
+    path = tmp_path / "t.csv"
+    assert tr.to_csv(str(path)) == 1
+    with open(path, newline="") as fh:
+        rows = list(csv.DictReader(fh))
+    assert json.loads(rows[0]["detail"]) == {"note": "k=v;x=y", "how": "vb"}
+
+
+# ---------------------------------------------------------------------
+# span derivation
+# ---------------------------------------------------------------------
+def test_run_spans_pairing():
+    tr = TraceRecorder(enabled=True)
+    tr.emit(0, "dispatch", 0, "a")
+    tr.emit(100, "dispatch", 0, "b")   # a ran [0, 100)
+    tr.emit(150, "park", 0, "b")       # b ran [100, 150)
+    tr.emit(200, "dispatch", 1, "c")
+    tr.emit(300, "exit", 1, "c")       # c ran [200, 300)
+    spans = tr.run_spans()
+    assert [(s.task, s.start, s.end, s.end_kind) for s in spans] == [
+        ("a", 0, 100, "dispatch"), ("b", 100, 150, "park"),
+        ("c", 200, 300, "exit"),
+    ]
+
+
+def test_open_run_span_closed_at_eof():
+    tr = TraceRecorder(enabled=True)
+    tr.emit(0, "dispatch", 0, "a")
+    tr.emit(500, "wake", 1, "z")
+    (span,) = tr.run_spans()
+    assert span.end == 500 and span.end_kind == "eof"
+
+
+def test_block_and_bwd_spans():
+    tr = TraceRecorder(enabled=True)
+    tr.emit(10, "park", 0, "a", how="vb")
+    tr.emit(70, "wake", 2, "a", how="vb")
+    tr.emit(900, "bwd-deschedule", 1, "s", spin_ns=200)
+    (blocked,) = tr.block_spans()
+    assert blocked.duration == 60 and blocked.detail["how"] == "vb"
+    (spin,) = tr.bwd_spans()
+    assert (spin.start, spin.end, spin.cpu) == (700, 900, 1)
+
+
+# ---------------------------------------------------------------------
+# sessions: recorder pickup, histogram merge, sampler neutrality
+# ---------------------------------------------------------------------
+def test_kernel_adopts_session_recorder():
+    assert current_session() is None
+    with observe() as sess:
+        k = Kernel(vanilla_config(cores=2, seed=1))
+        assert k.trace is sess.recorder
+        assert current_session() is sess
+    assert current_session() is None
+    # outside a session, tracing stays off
+    assert Kernel(vanilla_config(cores=2, seed=1)).trace.enabled is False
+
+
+def test_session_collects_histograms_and_trace():
+    with observe() as sess:
+        run = small_run()
+    assert sess.recorder.count("dispatch") > 0
+    assert sess.hists["wakeup_latency_ns"].count > 0
+    # histogram summaries also land on the run's stats
+    extra = run.stats.extra_dict
+    assert extra["hist:wakeup_latency_ns"]["count"] == \
+        sess.hists["wakeup_latency_ns"].count
+
+
+def test_sampler_does_not_perturb_the_simulation():
+    baseline = small_run()
+    with observe(sample_interval_us=50) as sess:
+        sampled = small_run()
+    assert sampled.duration_ns == baseline.duration_ns
+    assert sampled.stats.context_switches == baseline.stats.context_switches
+    (sampler,) = sess.samplers
+    assert sampler.samples > 0
+    assert len(sampler.util[0]) == sampler.samples
+    assert all(0.0 <= u <= 1.0 for row in sampler.util for u in row)
+    d = sampler.to_dict()
+    assert d["samples"] == sampler.samples
+    out = render_sampler(sampler)
+    assert "cpu   0" in out and "samples:" in out
+
+
+def test_sampler_truncates_at_max_samples():
+    from repro.obs.sampler import Sampler
+
+    k = Kernel(vanilla_config(cores=1, seed=1))
+    s = Sampler(k, interval_ns=10, max_samples=5)
+    s.start()
+    k.engine.run(until=10_000)
+    assert s.samples == 5
+    assert s.truncated == 1  # stopped rearming after the first overrun
+    with pytest.raises(ValueError):
+        Sampler(k, interval_ns=0)
+
+
+# ---------------------------------------------------------------------
+# exporters and analysis
+# ---------------------------------------------------------------------
+def test_jsonl_roundtrip_and_meta(tmp_path):
+    with observe() as sess:
+        small_run()
+    path = tmp_path / "run.jsonl"
+    n = write_jsonl(sess.recorder, str(path), meta={"spec": "unit/is"})
+    meta, events = load_jsonl(str(path))
+    assert meta["spec"] == "unit/is" and meta["events"] == n
+    assert meta["dropped"] == 0
+    assert len(events) == n
+    assert events[:3] == list(sess.recorder.events)[:3]
+
+
+def test_chrome_trace_structure():
+    with observe() as sess:
+        small_run(threads=16, cores=4, optimized=True)
+    entries = chrome_trace(sess.recorder)
+    phases = {e["ph"] for e in entries}
+    assert {"M", "X", "i"} <= phases
+    names = {e["args"]["name"] for e in entries
+             if e["ph"] == "M" and e["name"] == "thread_name"}
+    assert {"cpu 0", "cpu 1", "cpu 2", "cpu 3"} <= names
+    # VB park/wake events must produce the vb-blocked counter track
+    counters = [e for e in entries if e["ph"] == "C"]
+    assert any(c["name"] == "vb-blocked" for c in counters)
+    json.dumps(entries)  # must be valid JSON
+
+
+def test_write_artifacts_pair_and_csv_compat(tmp_path):
+    tr = TraceRecorder(enabled=True)
+    tr.emit(1, "dispatch", 0, "a")
+    paths = write_artifacts(tr, str(tmp_path / "t.jsonl"))
+    assert paths["jsonl"].endswith("t.jsonl")
+    assert paths["chrome"].endswith("t.chrome.json")
+    chrome = json.loads(open(paths["chrome"]).read())
+    assert "traceEvents" in chrome
+    assert write_artifacts(tr, str(tmp_path / "legacy.csv")) == {
+        "csv": str(tmp_path / "legacy.csv")
+    }
+
+
+def test_wakeup_latency_and_util_bins():
+    with observe() as sess:
+        small_run(threads=16, cores=4)
+    events = list(sess.recorder.events)
+    lats = wakeup_latencies(events)
+    assert lats and all(v >= 0 for v in lats)
+    util, t0, t1 = cpu_utilization_bins(events, bins=8)
+    assert t1 > t0
+    assert set(util) == {0, 1, 2, 3}
+    assert all(len(row) == 8 for row in util.values())
+    assert all(0.0 <= u <= 1.0 for row in util.values() for u in row)
+    # a 4x-oversubscribed run keeps the CPUs mostly busy
+    assert max(u for row in util.values() for u in row) > 0.5
+
+
+def test_render_analysis_reports_drops(tmp_path):
+    tr = TraceRecorder(enabled=True, capacity=5)
+    for i in range(9):
+        tr.emit(i * 10, "dispatch", 0, f"t{i}")
+    path = tmp_path / "drop.jsonl"
+    write_jsonl(tr, str(path))
+    meta, events = load_jsonl(str(path))
+    buf = io.StringIO()
+    render_analysis(meta, events, out=buf)
+    assert "4 dropped" in buf.getvalue()
+
+
+def test_timeline_rendering_helpers():
+    assert rebin([1.0, 0.0, 1.0, 0.0], 2) == [0.5, 0.5]
+    assert rebin([0.5], 4) == [0.5]  # narrower than requested width
+    row = heat_row([0.0, 1.0], 2)
+    assert len(row) == 2 and row[0] == " " and row[1] != " "
+
+
+# ---------------------------------------------------------------------
+# RunStats.extra immutability
+# ---------------------------------------------------------------------
+def test_runstats_extra_is_immutable_and_json_safe():
+    with observe():
+        k = Kernel(vanilla_config(cores=2, seed=3))
+        from repro.prog.actions import Compute
+
+        def w():
+            yield Compute(100_000)
+
+        for i in range(4):
+            k.spawn(w(), name=f"w{i}")
+        k.run_to_completion()
+    stats = collect(k)
+    assert isinstance(stats.extra, tuple)
+    hash(stats.extra)  # hashable, hence safely frozen
+    d = stats.extra_dict
+    json.loads(json.dumps(d))
+    assert all(isinstance(v, dict) for v in d.values())
+
+
+# ---------------------------------------------------------------------
+# CLI: trace -> analyze end to end
+# ---------------------------------------------------------------------
+def test_cli_trace_then_analyze(tmp_path, capsys):
+    from repro.cli import main
+
+    base = tmp_path / "sample"
+    rc = main(["trace", "fig01", "--scale", "0.05", "--index", "0",
+               "--out", str(base), "--sample-interval-us", "200"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "events" in out and "per-CPU utilization" in out
+    assert (tmp_path / "sample.jsonl").exists()
+    assert (tmp_path / "sample.chrome.json").exists()
+
+    rc = main(["analyze", str(base) + ".jsonl"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "wakeup latency" in out
+    assert "event counts" in out
+    assert "cpu   0" in out
+
+
+def test_cli_trace_list_and_bad_selectors(tmp_path, capsys):
+    from repro.cli import main
+
+    assert main(["trace", "fig01", "--list"]) == 0
+    assert "fig01/" in capsys.readouterr().out
+    assert main(["trace", "not-a-section"]) == 2
+    assert main(["trace", "fig01", "--index", "9999"]) == 2
+    assert main(["trace", "fig01", "--spec-id", "nope"]) == 2
+
+
+def test_cli_suite_trace_writes_artifact_pair(tmp_path, capsys):
+    from repro.cli import main
+
+    base = tmp_path / "st"
+    rc = main(["suite", "is", "--threads", "8", "--cores", "4",
+               "--scale", "0.05", "--trace", str(base),
+               "--sample-interval-us", "200"])
+    assert rc == 0
+    assert (tmp_path / "st.jsonl").exists()
+    assert (tmp_path / "st.chrome.json").exists()
+    out = capsys.readouterr().out
+    assert "latency distributions" in out

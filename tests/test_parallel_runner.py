@@ -247,3 +247,63 @@ def test_cli_all_subcommand_registered():
     args = build_parser().parse_args(["all", "--quick", "--jobs", "2"])
     assert args.fn.__name__ == "cmd_all"
     assert args.quick and args.jobs == 2
+
+
+# ---------------------------------------------------------------------
+# trace artifacts: determinism across jobs / cache states
+# ---------------------------------------------------------------------
+def _trace_bytes(trace_dir, specs):
+    from repro.runners.parallel import trace_artifact_name
+
+    return {
+        s.id: (trace_dir / trace_artifact_name(s.id)).read_bytes()
+        for s in specs
+    }
+
+
+def test_traces_byte_identical_across_jobs_and_cache(tmp_path):
+    specs = fig1_subset_specs()[:2]
+    cache = tmp_path / "cache"
+
+    d1 = tmp_path / "t-serial"
+    ParallelRunner(jobs=1, use_cache=False, trace_dir=str(d1)).run(specs)
+    serial = _trace_bytes(d1, specs)
+    assert all(serial.values())  # nonempty artifacts, one per spec
+
+    d2 = tmp_path / "t-parallel"
+    ParallelRunner(jobs=2, use_cache=False, trace_dir=str(d2)).run(specs)
+    assert _trace_bytes(d2, specs) == serial
+
+    # Warm the result cache, then trace again: the runner must bypass
+    # cache reads (every spec re-simulates) and the bytes must still
+    # match the cold-cache runs.
+    ParallelRunner(jobs=1, cache_dir=cache).run(specs)
+    d3 = tmp_path / "t-warm"
+    warm = ParallelRunner(jobs=2, cache_dir=cache, trace_dir=str(d3))
+    res_traced = warm.run(specs)
+    assert warm.stats.cache_hits == 0
+    assert warm.stats.executed == len(specs)
+    assert _trace_bytes(d3, specs) == serial
+    # ... and the results themselves equal the cached ones
+    assert res_traced == ParallelRunner(jobs=1, cache_dir=cache).run(specs)
+
+
+def test_trace_artifact_names_are_filesystem_safe():
+    from repro.runners.parallel import trace_artifact_name
+
+    name = trace_artifact_name("fig09/lu_cb/32T")
+    assert "/" not in name and name.endswith(".jsonl")
+
+
+def test_stats_extra_round_trips_through_cache(tmp_path):
+    specs = fig1_subset_specs()[:1]
+    cold = ParallelRunner(jobs=1, cache_dir=tmp_path)
+    (res1,) = cold.run(specs)
+    warm = ParallelRunner(jobs=1, cache_dir=tmp_path)
+    (res2,) = warm.run(specs)
+    assert warm.stats.cache_hits == 1
+    assert res1 == res2
+    extra = res1["stats"]["extra"]
+    assert "hist:wakeup_latency_ns" in extra
+    for stat in ("count", "p50", "p95", "p99", "max"):
+        assert stat in extra["hist:wakeup_latency_ns"]

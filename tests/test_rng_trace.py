@@ -46,7 +46,7 @@ def test_fork_differs():
 def test_trace_disabled_records_nothing():
     tr = TraceRecorder(enabled=False)
     tr.emit(1, "dispatch", 0, "t")
-    assert tr.events == []
+    assert list(tr.events) == []
 
 
 def test_trace_kind_filter_and_count():
@@ -58,4 +58,4 @@ def test_trace_kind_filter_and_count():
     assert tr.count("park") == 0
     assert [e.cpu for e in tr.of_kind("wake")] == [0, 1]
     tr.clear()
-    assert tr.events == []
+    assert list(tr.events) == []
