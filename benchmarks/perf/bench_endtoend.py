@@ -1,0 +1,69 @@
+"""End-to-end report-section benchmarks with determinism digests.
+
+Runs two quick report sections through the real spec pipeline
+(``build_all_specs`` -> ``ParallelRunner(jobs=1, use_cache=False)``):
+
+* ``fig02`` — the direct-cost microbenchmark sweep (17 specs, futex and
+  context-switch heavy);
+* a ``fig09`` NPB subset (streamcluster + is, 6 specs: barrier and
+  condvar heavy).
+
+Each section reports its wall time *and* the SHA-256 digest of the
+canonical result JSON.  The digest proves the optimized core is
+bit-identical run-to-run and machine-to-machine for the fixed seed; the
+CI perf-smoke job hard-fails on any digest change.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+
+from common import bootstrap
+
+bootstrap()
+
+from repro.runners.full_report import ReportParams, build_all_specs  # noqa: E402
+from repro.runners.parallel import ParallelRunner  # noqa: E402
+
+_PARAMS = ReportParams(scale=0.3, quick=True, seed=2021)
+_SECTIONS = {
+    "fig02_quick": ("fig02/",),
+    "fig09_npb_quick": ("fig09/streamcluster/", "fig09/is/"),
+}
+
+
+def _specs(prefixes):
+    out = []
+    for _section, specs in build_all_specs(_PARAMS):
+        out.extend(s for s in specs if s.id.startswith(prefixes))
+    return out
+
+
+def _digest(specs, results) -> str:
+    blob = json.dumps(
+        [{"id": s.id, "result": r} for s, r in zip(specs, results)],
+        sort_keys=True, separators=(",", ":"), allow_nan=False,
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def run(quick: bool = False) -> dict:
+    del quick  # the sections are already quick-mode; one size only
+    out: dict = {}
+    for name, prefixes in _SECTIONS.items():
+        specs = _specs(prefixes)
+        t0 = time.perf_counter()
+        results = ParallelRunner(jobs=1, use_cache=False).run(specs)
+        wall = time.perf_counter() - t0
+        out[name] = {
+            "specs": len(specs),
+            "wall_s": round(wall, 6),
+            "digest": _digest(specs, results),
+        }
+    return out
+
+
+if __name__ == "__main__":
+    print(json.dumps(run(), indent=2))

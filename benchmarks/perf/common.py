@@ -1,0 +1,37 @@
+"""Shared helpers for the perf microbenchmark suite.
+
+Each ``bench_*`` module exposes ``run(quick: bool) -> dict`` returning a
+flat JSON-able metrics dict.  ``repeat_best`` runs a timed closure a few
+times and keeps the best (minimum-wall) round — the standard way to damp
+scheduler noise on a shared machine without long runs.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.abspath(os.path.join(_HERE, "..", ".."))
+_SRC = os.path.join(REPO_ROOT, "src")
+
+
+def bootstrap() -> None:
+    """Make ``repro`` importable when invoked as a plain script."""
+    if _SRC not in sys.path:
+        sys.path.insert(0, _SRC)
+
+
+def repeat_best(fn, rounds: int = 3) -> tuple[float, object]:
+    """Run ``fn()`` ``rounds`` times; return (best wall seconds, last
+    return value).  ``fn`` must be idempotent."""
+    best = float("inf")
+    value = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        value = fn()
+        wall = time.perf_counter() - t0
+        if wall < best:
+            best = wall
+    return best, value

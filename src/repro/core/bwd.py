@@ -29,8 +29,8 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ..config import BwdConfig, ProfilingConfig
-from ..hw.lbr import synthesize_lbr
-from ..hw.pmc import synthesize_pmc
+from ..hw.lbr import synthesize_lbr_signature
+from ..hw.pmc import synthesize_pmc_miss_free
 from ..kernel.hrtimer import HrTimer
 from ..kernel.task import RunMode, TaskState
 
@@ -129,17 +129,20 @@ class BwdMonitor:
             kind = self._classify(task, window_start)
             if kind is WindowKind.SPIN_FULL:
                 self.stats.spin_windows += 1
-                lbr = synthesize_lbr(
+                # Boolean fast paths: same RNG draws as materializing the
+                # LBR ring / PMC window, without the object churn (this
+                # runs once per core per 100 us of simulated time).
+                sig = synthesize_lbr_signature(
                     self.config.lbr_entries,
                     1.0,
                     task.spin_signature,
                     self.rng,
                     self.config.miss_probability,
                 )
-                pmc = synthesize_pmc(
+                miss_free = synthesize_pmc_miss_free(
                     self.config.period_ns, 1.0, self.profiling, self.rng
                 )
-                if lbr.is_spin_signature() and pmc.miss_free:
+                if sig and miss_free:
                     self.stats.true_positives += 1
                     if kernel.trace.enabled:
                         kernel.trace.emit(now, "bwd-detect", cpu_id,
@@ -151,7 +154,7 @@ class BwdMonitor:
                 # records mean a partial spin is caught one period later.
                 spin_ns = now - max(task.mode_since, task.on_cpu_since)
                 spin_fraction = min(1.0, spin_ns / self.config.period_ns)
-                pmc = synthesize_pmc(
+                miss_free = synthesize_pmc_miss_free(
                     self.config.period_ns,
                     spin_fraction,
                     self.profiling,
@@ -159,7 +162,7 @@ class BwdMonitor:
                     tight_loop_probability=task.profile.tight_loop_prob,
                     miss_rate_scale=task.profile.miss_rate_scale,
                 )
-                if pmc.miss_free:
+                if miss_free:
                     # Counted as a detection but not toward sensitivity:
                     # ground truth here is ambiguous (it *is* spinning now).
                     if kernel.trace.enabled:
@@ -172,21 +175,21 @@ class BwdMonitor:
                     task.profile.tight_loop_prob > 0.0
                     and self.rng.random() < task.profile.tight_loop_prob
                 )
-                lbr = synthesize_lbr(
+                sig = synthesize_lbr_signature(
                     self.config.lbr_entries,
                     1.0 if tight else 0.0,
                     task.spin_signature,
                     self.rng,
                     0.0,
                 )
-                pmc = synthesize_pmc(
+                miss_free = synthesize_pmc_miss_free(
                     self.config.period_ns,
                     1.0 if tight else 0.0,
                     self.profiling,
                     self.rng,
                     miss_rate_scale=task.profile.miss_rate_scale,
                 )
-                if lbr.is_spin_signature() and pmc.miss_free:
+                if sig and miss_free:
                     self.stats.false_positives += 1
                     if kernel.trace.enabled:
                         kernel.trace.emit(now, "bwd-detect", cpu_id,

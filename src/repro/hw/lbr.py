@@ -101,3 +101,44 @@ def synthesize_lbr(
         direction = -1 if rng.random() < 0.4 else 1
         lbr.record(frm, frm + direction * int(rng.integers(4, 4096)))
     return lbr
+
+
+def synthesize_lbr_signature(
+    capacity: int,
+    spin_fraction: float,
+    spin_signature: int,
+    rng: np.random.Generator,
+    pollution_probability: float = 0.0,
+) -> bool:
+    """``synthesize_lbr(...).is_spin_signature()`` without building the ring.
+
+    Draws from ``rng`` in exactly the same order and count as
+    :func:`synthesize_lbr`, so a simulation using this fast path is
+    bit-identical to one materializing the record objects — BWD calls it
+    once per monitored window, where the ring itself is never inspected
+    beyond this one predicate (``tests/test_lbr_pmc_ple.py`` checks the
+    equivalence property).
+    """
+    if spin_fraction >= 1.0 and rng.random() >= pollution_probability:
+        # Pure spin ring: full, identical, backward by construction.
+        return capacity > 0
+    n = capacity if spin_fraction > 0 or rng.random() < 0.95 else capacity - 1
+    if n < capacity:
+        # Under-filled ring can never match, but the per-entry draws must
+        # still happen to keep the stream aligned.
+        for _ in range(n):
+            rng.integers(0x400000, 0x500000)
+            rng.random()
+            rng.integers(4, 4096)
+        return False
+    first_frm = first_to = 0
+    identical = True
+    for i in range(n):
+        frm = int(rng.integers(0x400000, 0x500000))
+        direction = -1 if rng.random() < 0.4 else 1
+        to = frm + direction * int(rng.integers(4, 4096))
+        if i == 0:
+            first_frm, first_to = frm, to
+        elif frm != first_frm or to != first_to:
+            identical = False
+    return n > 0 and identical and first_to < first_frm

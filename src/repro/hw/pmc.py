@@ -62,3 +62,35 @@ def synthesize_pmc(
     l1 = int(rng.poisson(exp_l1)) if exp_l1 > 0 else 0
     tlb = int(rng.poisson(exp_tlb)) if exp_tlb > 0 else 0
     return PmcWindow(instructions, l1, tlb)
+
+
+def synthesize_pmc_miss_free(
+    window_ns: int,
+    spin_fraction: float,
+    profile: ProfilingConfig,
+    rng: np.random.Generator,
+    tight_loop_probability: float = 0.0,
+    miss_rate_scale: float = 1.0,
+) -> bool:
+    """``synthesize_pmc(...).miss_free`` without building the window object.
+
+    Draws from ``rng`` in exactly the same order and count as
+    :func:`synthesize_pmc` (equivalence checked in
+    ``tests/test_lbr_pmc_ple.py``); BWD's per-window hot path only needs
+    this one predicate."""
+    compute_fraction = max(0.0, 1.0 - spin_fraction)
+    if compute_fraction <= 0.0:
+        return True
+    if tight_loop_probability > 0.0 and rng.random() < tight_loop_probability:
+        return True
+    window_us = window_ns / 1000.0
+    instructions = int(profile.inst_per_us * window_us)
+    compute_inst = instructions * compute_fraction * miss_rate_scale
+    exp_l1 = compute_inst / profile.inst_per_l1_miss
+    exp_tlb = compute_inst / profile.inst_per_tlb_miss
+    if exp_l1 > 0 and int(rng.poisson(exp_l1)) != 0:
+        # The TLB draw must still happen to keep the stream aligned.
+        if exp_tlb > 0:
+            rng.poisson(exp_tlb)
+        return False
+    return not (exp_tlb > 0 and int(rng.poisson(exp_tlb)) != 0)

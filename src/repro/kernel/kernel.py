@@ -58,6 +58,7 @@ class CpuState:
         "info",
         "rq",
         "rq_lock",
+        "sib",
         "gen",
         "event",
         "run_started",
@@ -78,6 +79,7 @@ class CpuState:
         self.info = info
         self.rq = CfsRunqueue(cpu_id)
         self.rq_lock = SimLockTimeline(f"rq-{cpu_id}")
+        self.sib: "CpuState | None" = None  # SMT sibling, wired by Kernel
         self.gen = 0
         self.event = None
         self.run_started = 0
@@ -117,6 +119,9 @@ class Kernel:
             for name in ("wakeup_latency_ns", "futex_block_ns",
                          "bwd_spin_to_deschedule_ns")
         }
+        # Hot-path aliases: skip two dict lookups per latency sample.
+        self._h_wakeup = self.hists["wakeup_latency_ns"]
+        self._h_block = self.hists["futex_block_ns"]
         self._obs_sampler = None
         self._obs_reported = False
         self.rng_streams = RngStreams(config.seed)
@@ -134,6 +139,12 @@ class Kernel:
         self._online: list[int] = list(range(initial))
         for cpu in self.cpus[initial:]:
             cpu.online = False
+        # SMT siblings are static: resolve them once instead of per dispatch.
+        for cpu in self.cpus:
+            sib = self.topology.smt_sibling(cpu.id)
+            if sib is not None and sib < len(self.cpus):
+                cpu.sib = self.cpus[sib]
+        self._smt_factor = hw.smt_throughput_factor
 
         self.futex_table = FutexTable()
         self.vb_policy = VirtualBlockingPolicy(config.vb)
@@ -318,12 +329,9 @@ class Kernel:
     # Core scheduling
     # ==================================================================
     def _speed_factor(self, cpu: CpuState) -> float:
-        sib = self.topology.smt_sibling(cpu.id)
-        if sib is None or sib >= len(self.cpus):
-            return 1.0
-        sibling = self.cpus[sib]
-        if sibling.online and sibling.rq.curr is not None:
-            return self.config.hardware.smt_throughput_factor
+        sib = cpu.sib
+        if sib is not None and sib.online and sib.rq.curr is not None:
+            return self._smt_factor
         return 1.0
 
     def _cancel_cpu_event(self, cpu: CpuState) -> None:
@@ -337,7 +345,7 @@ class Kernel:
         task = cpu.rq.curr
         if task is None:
             return
-        now = self.now
+        now = self.engine.now
         start = cpu.run_started
         if now <= start:
             return
@@ -348,10 +356,25 @@ class Kernel:
             task.vruntime += elapsed
         else:
             task.vruntime += elapsed * 1024 // task.weight
-        if task.action_remaining is not None:
-            progress = int(elapsed * cpu.run_factor)
-            task.action_remaining = max(0, task.action_remaining - progress)
-        task.account_state(now)
+        rem = task.action_remaining
+        if rem is not None:
+            # run_factor is 1.0 except under a busy SMT sibling; skip the
+            # float multiply on the common path.
+            rf = cpu.run_factor
+            rem -= elapsed if rf == 1.0 else int(elapsed * rf)
+            task.action_remaining = rem if rem > 0 else 0
+        # Inlined task.account_state(now) for the running task (this is
+        # the single hottest accounting site).
+        if task.state is TaskState.RUNNING:
+            acct = now - task.state_since
+            if acct > 0:
+                if task.mode is RunMode.COMPUTE:
+                    task.stats.cpu_ns += acct
+                else:
+                    task.stats.spin_ns += acct
+            task.state_since = now
+        else:
+            task.account_state(now)
         cpu.run_started = now
 
     def _calc_slice(self, cpu: CpuState) -> int:
@@ -365,7 +388,7 @@ class Kernel:
         assert cpu.rq.curr is None
         if not cpu.online:
             return
-        now = self.now
+        now = self.engine.now
         head = cpu.rq.peek_next()
         if head is None:
             pulled = self._idle_pull(cpu)
@@ -388,7 +411,7 @@ class Kernel:
         self._dispatch(cpu, task)
 
     def _dispatch(self, cpu: CpuState, task: Task) -> None:
-        now = self.now
+        now = self.engine.now
         sched = self.config.scheduler
         delay = 0
         if cpu.last_task is not task:
@@ -410,48 +433,93 @@ class Kernel:
         if task.woken_at is not None:
             lat = now - task.woken_at
             task.stats.wakeup_latency_ns += lat
-            self.hists["wakeup_latency_ns"].record(lat)
+            self._h_wakeup.record(lat)
             task.woken_at = None
         task.skip_flag = False
         cpu.run_started = now + delay
-        cpu.run_factor = self._speed_factor(cpu)
-        cpu.slice_end = now + delay + self._calc_slice(cpu)
+        # Inlined _speed_factor / _calc_slice (hot: once per dispatch).
+        sib = cpu.sib
+        cpu.run_factor = (
+            self._smt_factor
+            if sib is not None and sib.online and sib.rq.curr is not None
+            else 1.0
+        )
+        nr = cpu.rq.nr_schedulable()
+        sl = sched.sched_latency_ns // (nr if nr > 1 else 1)
+        if sl > sched.regular_slice_ns:
+            sl = sched.regular_slice_ns
+        if sl < sched.min_granularity_ns:
+            sl = sched.min_granularity_ns
+        cpu.slice_end = now + delay + sl
         cpu.rq.update_min_vruntime()
-        self.trace.emit(now, "dispatch", cpu.id, task.name)
+        if self.trace.enabled:
+            self.trace.emit(now, "dispatch", cpu.id, task.name)
         self._continue(cpu)
 
     def _continue(self, cpu: CpuState) -> None:
         """Set up the engine event for the current task's next milestone."""
         task = cpu.rq.curr
         assert task is not None
-        now = self.now
+        engine = self.engine
+        now = engine.now
         # Resolve any completed blocking action or start the first action.
+        # The generator resume (_advance) is inlined: this loop runs once
+        # per action, millions of times per simulation.
         while True:
             if task.wake_completed:
                 task.wake_completed = False
                 task.block_kind = None
                 if task.mode is RunMode.SPIN:
                     # Back from a spin-then-park wait: normal execution.
-                    task.set_mode(RunMode.COMPUTE, self.now)
-                if not self._advance(cpu, task):
-                    return
-            elif task.action is None:
-                if not self._advance(cpu, task):
-                    return
-            else:
+                    task.set_mode(RunMode.COMPUTE, now)
+            elif task.action is not None:
                 break
-        if task.action_remaining is None:
+            try:
+                action = task.program.send(task.pending_result)
+            except StopIteration:
+                self._exit_task(cpu, task)
+                return
+            except Exception as exc:  # a buggy program, not the simulator
+                task.exit_error = exc
+                self._exit_task(cpu, task)
+                raise ProgramError(
+                    f"program of task {task.name!r} raised {exc!r}"
+                ) from exc
+            task.pending_result = None
+            task.action = action
+            acls = action.__class__
+            if acls is _COMPUTE:
+                ns = action.ns
+                task.action_remaining = ns if ns > 1 else 1
+            else:
+                handler = _ACTION_DISPATCH.get(acls)
+                if handler is not None:
+                    handler(self, cpu, task, action)
+                else:
+                    self._start_action_generic(cpu, task, action)
+        rem = task.action_remaining
+        if rem is None:
             # Spinning: re-check the condition (it may have been satisfied
             # while this task was off-CPU), else burn until slice expiry.
             if self._spin_recheck_condition(cpu, task):
                 return  # converted into a grab charge and rescheduled
             end = cpu.slice_end
         else:
-            need = math.ceil(task.action_remaining / cpu.run_factor)
-            end = min(cpu.run_started + need, cpu.slice_end)
-            end = max(end, now)
-        self._cancel_cpu_event(cpu)
-        cpu.event = self.engine.schedule_at(end, self._cpu_event, cpu.id, cpu.gen)
+            rf = cpu.run_factor
+            need = rem if rf == 1.0 else math.ceil(rem / rf)
+            end = cpu.run_started + need
+            slice_end = cpu.slice_end
+            if slice_end < end:
+                end = slice_end
+            if end < now:
+                end = now
+        # Inlined _cancel_cpu_event; the usual case is replacing the event
+        # that just fired (already consumed), which needs no cancel call.
+        cpu.gen += 1
+        ev = cpu.event
+        if ev is not None and not ev.cancelled:
+            ev.cancel()
+        cpu.event = engine.schedule_at(end, self._cpu_event, cpu.id, cpu.gen)
 
     def _cpu_event(self, cpu_id: int, gen: int) -> None:
         cpu = self.cpus[cpu_id]
@@ -460,10 +528,42 @@ class Kernel:
         task = cpu.rq.curr
         if task is None:
             return
-        self._sync_current(cpu)
-        now = self.now
+        # Inlined _sync_current (the single hottest call site; the method
+        # remains for the preempt/sampler paths).
+        now = self.engine.now
+        start = cpu.run_started
+        if now > start:
+            elapsed = now - start
+            cpu.busy_ns += elapsed
+            if task.weight == 1024:
+                task.vruntime += elapsed
+            else:
+                task.vruntime += elapsed * 1024 // task.weight
+            rem = task.action_remaining
+            if rem is not None:
+                rf = cpu.run_factor
+                rem -= elapsed if rf == 1.0 else int(elapsed * rf)
+                task.action_remaining = rem if rem > 0 else 0
+            if task.state is TaskState.RUNNING:
+                acct = now - task.state_since
+                if acct > 0:
+                    if task.mode is RunMode.COMPUTE:
+                        task.stats.cpu_ns += acct
+                    else:
+                        task.stats.spin_ns += acct
+                task.state_since = now
+            else:
+                task.account_state(now)
+            cpu.run_started = now
         if task.action_remaining == 0:
-            self._complete_action(cpu, task)
+            # Plain completion (no park, no yield/sleep special case) goes
+            # straight back to _continue without the _complete_action frame.
+            if (task.action.__class__ in _PLAIN_COMPLETE
+                    and task.block_kind is None):
+                task.action = None
+                self._continue(cpu)
+            else:
+                self._complete_action(cpu, task)
             return
         if now >= cpu.slice_end:
             head = cpu.rq.peek_next()
@@ -488,7 +588,7 @@ class Kernel:
     def _put_prev_runnable(self, cpu: CpuState) -> None:
         task = cpu.rq.curr
         assert task is not None
-        task.set_state(TaskState.RUNNABLE, self.now)
+        task.set_state(TaskState.RUNNABLE, self.engine.now)
         cpu.rq.curr = None
         cpu.last_task = task
         cpu.rq.enqueue(task)
@@ -510,113 +610,138 @@ class Kernel:
             ) from exc
         task.pending_result = None
         task.action = action
-        self._start_action(cpu, task, action)
+        # Inlined _start_action dispatch (one call saved per action).
+        handler = _ACTION_DISPATCH.get(action.__class__)
+        if handler is not None:
+            handler(self, cpu, task, action)
+        else:
+            self._start_action_generic(cpu, task, action)
         return True
 
     def _exit_task(self, cpu: CpuState, task: Task) -> None:
-        task.set_state(TaskState.EXITED, self.now)
-        task.exited_at = self.now
+        now = self.engine.now
+        task.set_state(TaskState.EXITED, now)
+        task.exited_at = now
         task.cpu = None
         self.live_tasks -= 1
         cpu.rq.curr = None
         cpu.last_task = task
-        self.trace.emit(self.now, "exit", cpu.id, task.name)
+        if self.trace.enabled:
+            self.trace.emit(now, "exit", cpu.id, task.name)
         self._schedule(cpu)
 
     # ==================================================================
     # Action semantics
     # ==================================================================
     def _start_action(self, cpu: CpuState, task: Task, action: A.Action) -> None:
-        """Compute the action's on-CPU charge and perform entry effects."""
-        user = self.config.user
-        if isinstance(action, A.Compute):
-            task.action_remaining = max(1, action.ns)
-        elif isinstance(action, A.MemTraverse):
-            epoch = self.memmodel.epoch(
-                action.pattern,
-                action.region_bytes,
-                action.total_bytes,
-                action.nthreads,
-            )
-            task.action_remaining = max(1, int(epoch.time_ns * action.epochs))
-        elif isinstance(action, A.AtomicRmw):
-            ctr = action.counter
-            my_core = self.topology.core_of(cpu.id)
-            remote = (
-                ctr.last_writer_cpu is not None
-                and ctr.last_writer_cpu != my_core
-            )
-            per_op = user.atomic_ns + (
-                user.atomic_remote_extra_ns if remote else 0
-            )
-            ctr.last_writer_cpu = my_core
-            ctr.value += action.count
-            ctr.updates += action.count
-            task.action_remaining = max(1, per_op * action.count)
-        elif isinstance(action, A.Yield):
-            task.action_remaining = self.config.futex.syscall_entry_ns
-        elif isinstance(action, A.SleepNs):
-            task.action_remaining = self.config.futex.syscall_entry_ns
-        elif isinstance(
-            action,
-            (
-                A.MutexAcquire,
-                A.MutexRelease,
-                A.MutexEnsure,
-                A.CondWait,
-                A.CondWaitRequeue,
-                A.CondSignal,
-                A.CondBroadcast,
-                A.CondBroadcastRequeue,
-                A.BarrierWait,
-                A.SemWait,
-                A.SemPost,
-                A.RwAcquireRead,
-                A.RwReleaseRead,
-                A.RwAcquireWrite,
-                A.RwReleaseWrite,
-            ),
-        ):
-            cost = self._blocking_entry(cpu, task, action)
-            task.action_remaining = max(1, cost)
-        elif isinstance(action, A.SpinAcquire):
-            lock = action.lock
-            if lock.try_acquire(task):
-                task.action_remaining = user.fast_ns
-            else:
-                lock.add_waiter(task)
-                task.spin_target = lock
-                task.set_mode(RunMode.SPIN, self.now)
-                task.action_remaining = None
-        elif isinstance(action, A.SpinRelease):
-            candidates = action.lock.release(task)
-            self._notify_spinners(candidates, action.lock)
-            task.action_remaining = user.fast_ns
-        elif isinstance(action, A.SpinUntilFlag):
-            flag = action.flag
-            if flag.value >= action.target:
-                task.action_remaining = user.fast_ns
-            else:
-                flag.waiters.append(task)
-                task.spin_target = action
-                task.set_mode(RunMode.SPIN, self.now)
-                task.action_remaining = None
-        elif isinstance(action, A.FlagSet):
-            flag = action.flag
-            flag.value = flag.value + action.value if action.add else action.value
-            satisfied = [t for t in flag.waiters]
-            self._notify_spinners(satisfied, flag)
-            task.action_remaining = user.flag_write_ns
-        elif isinstance(action, A.EpollWait):
-            ep: EpollInstance = action.epoll
-            if len(ep):
-                task.pending_result = ep.take(action.max_events)
-                task.action_remaining = self.config.futex.syscall_entry_ns
-            else:
-                cost = self.futex_wait(task, ep)
-                task.action_remaining = max(1, cost)
+        """Compute the action's on-CPU charge and perform entry effects.
+
+        Dispatched through a type-keyed table (``_ACTION_DISPATCH`` at the
+        bottom of this module): every program action is one dict lookup
+        instead of a walk down an isinstance ladder — this runs once per
+        action, millions of times per simulation.  Action subclasses (none
+        in-tree) fall back to the isinstance path in ``_start_action_generic``.
+        """
+        handler = _ACTION_DISPATCH.get(action.__class__)
+        if handler is not None:
+            handler(self, cpu, task, action)
         else:
-            raise ProgramError(f"unknown action {action!r} from {task.name}")
+            self._start_action_generic(cpu, task, action)
+
+    def _act_compute(self, cpu: CpuState, task: Task, action) -> None:
+        ns = action.ns
+        task.action_remaining = ns if ns > 1 else 1
+
+    def _act_memtraverse(self, cpu: CpuState, task: Task, action) -> None:
+        epoch = self.memmodel.epoch(
+            action.pattern,
+            action.region_bytes,
+            action.total_bytes,
+            action.nthreads,
+        )
+        task.action_remaining = max(1, int(epoch.time_ns * action.epochs))
+
+    def _act_atomic_rmw(self, cpu: CpuState, task: Task, action) -> None:
+        user = self.config.user
+        ctr = action.counter
+        my_core = self.topology.core_of(cpu.id)
+        remote = (
+            ctr.last_writer_cpu is not None
+            and ctr.last_writer_cpu != my_core
+        )
+        per_op = user.atomic_ns + (
+            user.atomic_remote_extra_ns if remote else 0
+        )
+        ctr.last_writer_cpu = my_core
+        ctr.value += action.count
+        ctr.updates += action.count
+        task.action_remaining = max(1, per_op * action.count)
+
+    def _act_syscall_stub(self, cpu: CpuState, task: Task, action) -> None:
+        # Yield / SleepNs: the on-CPU charge is just the syscall entry;
+        # the interesting part happens at completion.
+        task.action_remaining = self.config.futex.syscall_entry_ns
+
+    def _act_blocking(self, cpu: CpuState, task: Task, action) -> None:
+        entry = _BLOCKING_ENTRY.get(action.__class__)
+        if entry is not None:
+            cost = entry(self, task, action)
+        else:  # a blocking-action subclass: resolve by isinstance
+            cost = self._blocking_entry(cpu, task, action)
+        task.action_remaining = cost if cost > 1 else 1
+
+    def _act_spin_acquire(self, cpu: CpuState, task: Task, action) -> None:
+        lock = action.lock
+        if lock.try_acquire(task):
+            task.action_remaining = self.config.user.fast_ns
+        else:
+            lock.add_waiter(task)
+            task.spin_target = lock
+            task.set_mode(RunMode.SPIN, self.engine.now)
+            task.action_remaining = None
+
+    def _act_spin_release(self, cpu: CpuState, task: Task, action) -> None:
+        candidates = action.lock.release(task)
+        self._notify_spinners(candidates, action.lock)
+        task.action_remaining = self.config.user.fast_ns
+
+    def _act_spin_until_flag(self, cpu: CpuState, task: Task, action) -> None:
+        flag = action.flag
+        if flag.value >= action.target:
+            task.action_remaining = self.config.user.fast_ns
+        else:
+            flag.waiters.append(task)
+            task.spin_target = action
+            task.set_mode(RunMode.SPIN, self.engine.now)
+            task.action_remaining = None
+
+    def _act_flag_set(self, cpu: CpuState, task: Task, action) -> None:
+        flag = action.flag
+        flag.value = flag.value + action.value if action.add else action.value
+        satisfied = [t for t in flag.waiters]
+        self._notify_spinners(satisfied, flag)
+        task.action_remaining = self.config.user.flag_write_ns
+
+    def _act_epoll_wait(self, cpu: CpuState, task: Task, action) -> None:
+        ep: EpollInstance = action.epoll
+        if len(ep):
+            task.pending_result = ep.take(action.max_events)
+            task.action_remaining = self.config.futex.syscall_entry_ns
+        else:
+            cost = self.futex_wait(task, ep)
+            task.action_remaining = max(1, cost)
+
+    def _start_action_generic(
+        self, cpu: CpuState, task: Task, action: A.Action
+    ) -> None:
+        """Fallback for action *subclasses*: resolve by isinstance, then
+        cache the winning handler for the concrete type."""
+        for cls, handler in list(_ACTION_DISPATCH.items()):
+            if isinstance(action, cls):
+                _ACTION_DISPATCH[action.__class__] = handler
+                handler(self, cpu, task, action)
+                return
+        raise ProgramError(f"unknown action {action!r} from {task.name}")
 
     def _blocking_entry(self, cpu: CpuState, task: Task, action: A.Action) -> int:
         """Drive a blocking primitive's entry hook; may arrange a park."""
@@ -655,8 +780,11 @@ class Kernel:
     def _complete_action(self, cpu: CpuState, task: Task) -> None:
         """The current action's charge finished; apply completion effects."""
         action = task.action
-        now = self.now
-        if isinstance(action, A.Yield):
+        now = self.engine.now
+        # Exact-class checks first (the common case); subclasses of the
+        # syscall stubs (none in-tree) fall through to isinstance below.
+        cls = action.__class__
+        if cls is A.Yield:
             task.action = None
             task.stats.nr_voluntary += 1
             # Step behind peers at the same vruntime.
@@ -664,7 +792,21 @@ class Kernel:
             self._put_prev_runnable(cpu)
             self._schedule(cpu)
             return
-        if isinstance(action, A.SleepNs):
+        if cls is A.SleepNs:
+            task.action = None
+            task.pending_result = None
+            self._park(cpu, task, kind="sleep")
+            self.engine.schedule(action.ns, self._timer_wake, task)
+            return
+        if (cls is not A.Compute and cls is not A.MemTraverse
+                and isinstance(action, (A.Yield, A.SleepNs))):
+            if isinstance(action, A.Yield):
+                task.action = None
+                task.stats.nr_voluntary += 1
+                task.vruntime += 1
+                self._put_prev_runnable(cpu)
+                self._schedule(cpu)
+                return
             task.action = None
             task.pending_result = None
             self._park(cpu, task, kind="sleep")
@@ -681,7 +823,7 @@ class Kernel:
                 return
             task.action = None
             if task.mode is RunMode.SPIN:
-                task.set_mode(RunMode.COMPUTE, self.now)
+                task.set_mode(RunMode.COMPUTE, now)
             self._park(cpu, task, kind=task.block_kind)
             return
         # Ordinary completion: continue with the next action in-slice.
@@ -692,7 +834,7 @@ class Kernel:
     # Parking and waking
     # ==================================================================
     def _park(self, cpu: CpuState, task: Task, kind: str) -> None:
-        now = self.now
+        now = self.engine.now
         task.stats.nr_voluntary += 1
         task.stats.nr_switches += 1
         cpu.rq.curr = None
@@ -707,7 +849,8 @@ class Kernel:
             task.set_state(TaskState.SLEEPING, now)
             task.cpu = None
         cpu.rq.update_min_vruntime()
-        self.trace.emit(now, "park", cpu.id, task.name, how=kind)
+        if self.trace.enabled:
+            self.trace.emit(now, "park", cpu.id, task.name, how=kind)
         self._schedule(cpu)
 
     def futex_wait(self, task: Task, obj: Any) -> int:
@@ -716,7 +859,7 @@ class Kernel:
         fc = self.config.futex
         bucket = self.futex_table.bucket(obj)
         cost = fc.syscall_entry_ns + bucket.lock.acquire(
-            self.now, fc.bucket_lock_hold_ns
+            self.engine.now, fc.bucket_lock_hold_ns
         )
         if self.vb_policy.config.enabled:
             # VB park: flip thread_state and re-key at the tail of the
@@ -733,7 +876,7 @@ class Kernel:
         task.stats.nr_blocks += 1
         if self.trace.enabled:
             self.trace.emit(
-                self.now, "futex-wait",
+                self.engine.now, "futex-wait",
                 task.cpu if task.cpu is not None else -1, task.name,
                 waiters=len(bucket.waiters), vb=task.block_kind == "vb",
             )
@@ -790,7 +933,7 @@ class Kernel:
         src = self.futex_table.bucket(src_obj)
         dst = self.futex_table.bucket(dst_obj)
         cost = self.futex_wake(waker, src_obj, wake_n)
-        now = self.now
+        now = self.engine.now
         moved = 0
         while src.waiters:
             w = src.waiters.popleft()
@@ -825,13 +968,18 @@ class Kernel:
         # is *disabled* and the wake selects a core like a normal wakeup
         # (still without sleep-queue shuttling).  Oversubscribed buckets
         # wake in place.
+        n_online = len(self._online)
         in_place = self.vb_policy.wake_in_place(
-            len(bucket.waiters), len(self._online)
+            len(bucket.waiters), n_online
         )
         total = fc.syscall_entry_ns if waker is not None else 0
-        t = self.now + total
+        engine = self.engine
+        t = engine.now + total
         woken = 0
         sync_wake = n == 1
+        # Loop-invariant: the idlest-core scan cost depends only on the
+        # online-CPU count.
+        select_cost = fc.select_core_ns(n_online)
         while bucket.waiters and woken < n:
             w = bucket.waiters.popleft()
             bucket.total_wakes += 1
@@ -841,10 +989,10 @@ class Kernel:
                 c = vbc.wake_cost_ns
                 t += c
                 total += c
-                self.engine.schedule_at(t, self._finish_wake_vb, w)
+                engine.schedule_at(t, self._finish_wake_vb, w)
                 self.vb_policy.stats.vb_wakes += 1
             elif w.block_kind == "vb":
-                c = fc.select_core_ns(len(self._online))
+                c = select_cost
                 proxy = w.last_cpu if w.last_cpu is not None else self._online[0]
                 c += self.cpus[proxy].rq_lock.acquire(
                     t + c, fc.rq_lock_hold_ns
@@ -852,12 +1000,12 @@ class Kernel:
                 c += fc.enqueue_ns
                 t += c
                 total += c
-                self.engine.schedule_at(t, self._finish_wake_vb_placed, w)
+                engine.schedule_at(t, self._finish_wake_vb_placed, w)
                 self.vb_policy.stats.vb_placed_wakes += 1
             else:
                 c = bucket.lock.acquire(t, fc.bucket_lock_hold_ns)
                 c += fc.wakeq_move_ns
-                c += fc.select_core_ns(len(self._online))
+                c += select_cost
                 # The runqueue-lock serialization is costed against the
                 # waiter's previous CPU; the actual placement is decided at
                 # finish time, when earlier wakes of this batch are visible.
@@ -868,7 +1016,7 @@ class Kernel:
                 c += fc.enqueue_ns
                 t += c
                 total += c
-                self.engine.schedule_at(t, self._finish_wake_vanilla, w)
+                engine.schedule_at(t, self._finish_wake_vanilla, w)
                 self.vb_policy.stats.vanilla_wakes += 1
             woken += 1
         if waker is None and woken:
@@ -880,7 +1028,7 @@ class Kernel:
             if waker is not None and waker.cpu is not None:
                 wcpu = waker.cpu
             self.trace.emit(
-                self.now, "futex-wake", wcpu,
+                engine.now, "futex-wake", wcpu,
                 waker.name if waker is not None else None,
                 woken=woken, remaining=len(bucket.waiters),
                 in_place=in_place, cost_ns=total,
@@ -902,32 +1050,39 @@ class Kernel:
         overloaded."""
         if task.pinned_cpu is not None:
             return task.pinned_cpu
-
-        def load_of(cpu_id: int) -> int:
-            load = self.cpus[cpu_id].rq.nr_running
-            # A virtually-blocked task still sits on its home runqueue;
-            # don't let it count against its own wake placement.
-            if task.state is TaskState.VBLOCKED and task.vb_cpu == cpu_id:
-                load -= 1
-            return load
+        cpus = self.cpus
+        # A virtually-blocked task still sits on its home runqueue; don't
+        # let it count against its own wake placement.
+        vb_home = task.vb_cpu if task.state is TaskState.VBLOCKED else None
 
         prev = task.last_cpu
-        if (
-            prev is not None
-            and self.cpus[prev].online
-            and load_of(prev) == 0
-        ):
-            return prev
-        if sync and prev is not None and self.cpus[prev].online:
-            min_load = min(
-                self.cpus[c].rq.nr_running for c in self._online
-            )
-            if load_of(prev) <= min_load + 1:
+        prev_ok = prev is not None and cpus[prev].online
+        prev_load = 0
+        if prev_ok:
+            rq = cpus[prev].rq
+            # rq.nr_running, spelled out: the property call is measurable
+            # in these per-wake loops over every online CPU.
+            prev_load = rq.tree.size + (1 if rq.curr is not None else 0)
+            if prev == vb_home:
+                prev_load -= 1
+            if prev_load == 0:
                 return prev
+            if sync:
+                min_load = None
+                for c in self._online:
+                    rq = cpus[c].rq
+                    load = rq.tree.size + (1 if rq.curr is not None else 0)
+                    if min_load is None or load < min_load:
+                        min_load = load
+                if prev_load <= min_load + 1:
+                    return prev
         best: list[int] = []
         best_load = None
         for cpu_id in self._online:
-            load = load_of(cpu_id)
+            rq = cpus[cpu_id].rq
+            load = rq.tree.size + (1 if rq.curr is not None else 0)
+            if cpu_id == vb_home:
+                load -= 1
             if best_load is None or load < best_load:
                 best_load = load
                 best = [cpu_id]
@@ -939,9 +1094,8 @@ class Kernel:
             # No idle CPU: wake_affine keeps 1:1 wakeups near their cache
             # unless the previous CPU is clearly overloaded.
             if (
-                prev is not None
-                and self.cpus[prev].online
-                and load_of(prev) <= best_load + 1
+                prev_ok
+                and prev_load <= best_load + 1
                 and self._rng_sched.random() < 0.8 + 0.2 * bias
             ):
                 return prev
@@ -983,14 +1137,14 @@ class Kernel:
             return
         if task.state is not TaskState.SLEEPING:
             return
-        now = self.now
+        now = self.engine.now
         # Placement decided now, with every earlier wake of the batch
         # already enqueued and visible.
         if target is None or not self.cpus[target].online:
             target = self._select_wake_cpu(task, sync=task.sync_wake)
         cpu = self.cpus[target]
         self._count_migration(task, target, wake=True)
-        self.hists["futex_block_ns"].record(now - task.state_since)
+        self._h_block.record(now - task.state_since)
         task.set_state(TaskState.RUNNABLE, now)
         task.block_kind = None
         task.wake_completed = True
@@ -1000,7 +1154,8 @@ class Kernel:
             task, self.config.scheduler.sched_latency_ns // 2
         )
         cpu.rq.enqueue(task)
-        self.trace.emit(now, "wake", target, task.name, how="vanilla")
+        if self.trace.enabled:
+            self.trace.emit(now, "wake", target, task.name, how="vanilla")
         self._check_preempt(cpu, task)
 
     def _finish_wake_vb(self, task: Task) -> None:
@@ -1009,7 +1164,7 @@ class Kernel:
             return
         if task.state is not TaskState.VBLOCKED:
             return
-        now = self.now
+        now = self.engine.now
         cpu = self.cpus[task.vb_cpu]
         task.thread_state = 0
         saved = task.saved_vruntime
@@ -1022,7 +1177,7 @@ class Kernel:
                 cpu.rq.min_vruntime
                 - self.config.scheduler.sched_latency_ns // 2,
             )
-        self.hists["futex_block_ns"].record(now - task.state_since)
+        self._h_block.record(now - task.state_since)
         task.set_state(TaskState.RUNNABLE, now)
         task.block_kind = None
         task.wake_completed = True
@@ -1038,7 +1193,8 @@ class Kernel:
             cpu.poll_ns += now - cpu.poll_idle_since
             cpu.poll_idle_since = None
             task.pending_penalty_ns += self.config.vb.all_blocked_poll_ns // 2
-        self.trace.emit(now, "wake", cpu.id, task.name, how="vb")
+        if self.trace.enabled:
+            self.trace.emit(now, "wake", cpu.id, task.name, how="vb")
         self._check_preempt(cpu, task)
 
     def _finish_wake_vb_placed(self, task: Task, target: int | None = None) -> None:
@@ -1050,7 +1206,7 @@ class Kernel:
             return
         if task.state is not TaskState.VBLOCKED:
             return
-        now = self.now
+        now = self.engine.now
         home = self.cpus[task.vb_cpu]
         home.rq.dequeue(task)
         if home.poll_idle_since is not None:
@@ -1067,7 +1223,7 @@ class Kernel:
             target = self._select_wake_cpu(task, sync=task.sync_wake)
         cpu = self.cpus[target]
         self._count_migration(task, target, wake=True)
-        self.hists["futex_block_ns"].record(now - task.state_since)
+        self._h_block.record(now - task.state_since)
         task.set_state(TaskState.RUNNABLE, now)
         task.block_kind = None
         task.wake_completed = True
@@ -1080,7 +1236,8 @@ class Kernel:
             task, self.config.scheduler.sched_latency_ns // 2
         )
         cpu.rq.enqueue(task)
-        self.trace.emit(now, "wake", target, task.name, how="vb-placed")
+        if self.trace.enabled:
+            self.trace.emit(now, "wake", target, task.name, how="vb-placed")
         self._check_preempt(cpu, task)
 
     def _timer_wake(self, task: Task) -> None:
@@ -1171,14 +1328,15 @@ class Kernel:
                     max_vr = max(max_vr, t.vruntime)
             task.vruntime = max_vr + 1
         spin_ns = (
-            self.now - max(task.mode_since, task.on_cpu_since)
+            self.engine.now - max(task.mode_since, task.on_cpu_since)
             if task.mode is RunMode.SPIN else 0
         )
         self.hists["bwd_spin_to_deschedule_ns"].record(spin_ns)
         self._cancel_cpu_event(cpu)
         self._put_prev_runnable(cpu)
-        self.trace.emit(self.now, "bwd-deschedule", cpu_id, task.name,
-                        spin_ns=spin_ns)
+        if self.trace.enabled:
+            self.trace.emit(self.engine.now, "bwd-deschedule", cpu_id,
+                            task.name, spin_ns=spin_ns)
         self._schedule(cpu)
 
     def _ple_tick(self, now: int) -> None:
@@ -1219,11 +1377,16 @@ class Kernel:
             other = self.cpus[cpu_id]
             if other is cpu:
                 continue
-            if other.rq.nr_running > busiest_load:
-                cands = other.rq.steal_candidates()
-                if cands:
-                    busiest = other
-                    busiest_load = other.rq.nr_running
+            rq = other.rq
+            # O(1) existence check: queued runnable == steal candidates
+            # modulo pinning/cache-hotness, which _migratable re-filters.
+            # (nr_running/nr_queued_runnable spelled out: this loop visits
+            # every online CPU on each newly-idle balance.)
+            size = rq.tree.size
+            load = size + (1 if rq.curr is not None else 0)
+            if load > busiest_load and size - rq.nr_blocked > 0:
+                busiest = other
+                busiest_load = load
         if busiest is None:
             return None
         cands = self._migratable(busiest.rq.steal_candidates())
@@ -1234,7 +1397,8 @@ class Kernel:
         self._relocate_vruntime(task, busiest.rq, cpu.rq)
         self._count_migration(task, cpu.id, wake=False)
         task.last_cpu = cpu.id
-        self.trace.emit(self.now, "idle-pull", cpu.id, task.name)
+        if self.trace.enabled:
+            self.trace.emit(self.engine.now, "idle-pull", cpu.id, task.name)
         return task
 
     def _migratable(self, candidates: list[Task]) -> list[Task]:
@@ -1291,7 +1455,8 @@ class Kernel:
             self._count_migration(task, dst.id, wake=False)
             task.last_cpu = dst.id
             dst.rq.enqueue(task)
-            self.trace.emit(now, "balance", dst.id, task.name, src=src.id)
+            if self.trace.enabled:
+                self.trace.emit(now, "balance", dst.id, task.name, src=src.id)
             if dst.rq.curr is None:
                 self._check_preempt(dst, task)
 
@@ -1324,3 +1489,59 @@ class Kernel:
                 wall, cpu.busy_ns + cpu.sched_ns + cpu.irq_ns + cpu.poll_ns
             )
         return 100.0 * total / wall
+
+
+# ======================================================================
+# Action dispatch tables (hot path)
+# ======================================================================
+# Blocking-primitive entry hooks, keyed by concrete action type.  Each
+# entry takes (kernel, task, action) and returns the on-CPU entry cost.
+_BLOCKING_ENTRY = {
+    A.MutexAcquire: lambda k, t, a: a.mutex.acquire(k, t),
+    A.MutexRelease: lambda k, t, a: a.mutex.release(k, t),
+    A.MutexEnsure: lambda k, t, a: a.mutex.ensure(k, t),
+    A.CondWait: lambda k, t, a: a.cond.wait(k, t),
+    A.CondWaitRequeue: lambda k, t, a: a.cond.wait_with(k, t, a.mutex),
+    A.CondSignal: lambda k, t, a: a.cond.signal(k, t),
+    A.CondBroadcast: lambda k, t, a: a.cond.broadcast(k, t),
+    A.CondBroadcastRequeue: (
+        lambda k, t, a: a.cond.broadcast_requeue(k, t, a.mutex)
+    ),
+    A.BarrierWait: lambda k, t, a: a.barrier.wait(k, t),
+    A.SemWait: lambda k, t, a: a.sem.wait(k, t),
+    A.SemPost: lambda k, t, a: a.sem.post(k, t),
+    A.RwAcquireRead: lambda k, t, a: a.lock.acquire_read(k, t),
+    A.RwReleaseRead: lambda k, t, a: a.lock.release_read(k, t),
+    A.RwAcquireWrite: lambda k, t, a: a.lock.acquire_write(k, t),
+    A.RwReleaseWrite: lambda k, t, a: a.lock.release_write(k, t),
+}
+
+# Concrete action type -> unbound Kernel handler.  ``_start_action`` is a
+# single dict lookup; subclasses (none in-tree) take the isinstance
+# fallback in ``_start_action_generic`` and are cached here afterwards.
+_ACTION_DISPATCH = {
+    A.Compute: Kernel._act_compute,
+    A.MemTraverse: Kernel._act_memtraverse,
+    A.AtomicRmw: Kernel._act_atomic_rmw,
+    A.Yield: Kernel._act_syscall_stub,
+    A.SleepNs: Kernel._act_syscall_stub,
+    A.SpinAcquire: Kernel._act_spin_acquire,
+    A.SpinRelease: Kernel._act_spin_release,
+    A.SpinUntilFlag: Kernel._act_spin_until_flag,
+    A.FlagSet: Kernel._act_flag_set,
+    A.EpollWait: Kernel._act_epoll_wait,
+}
+for _cls in _BLOCKING_ENTRY:
+    _ACTION_DISPATCH[_cls] = Kernel._act_blocking
+del _cls
+
+# The most common action class, special-cased before the dict lookup.
+_COMPUTE = A.Compute
+
+# Action classes whose completion is just "clear and continue" — i.e.
+# everything except Yield/SleepNs (which reschedule or park) — so
+# _cpu_event can skip the _complete_action frame when no park is pending.
+# Subclasses (none in-tree) miss this set and take the full path.
+_PLAIN_COMPLETE = frozenset(
+    cls for cls in _ACTION_DISPATCH if cls not in (A.Yield, A.SleepNs)
+)

@@ -28,7 +28,8 @@ class SimLockTimeline:
 
         Returns the total cost to the acquirer (queueing wait + hold).
         """
-        start = max(now, self.busy_until)
+        busy = self.busy_until
+        start = now if now >= busy else busy
         wait = start - now
         self.busy_until = start + hold_ns
         self.acquisitions += 1

@@ -8,9 +8,20 @@ Virtual blocking inserts blocked tasks at the tail using a sentinel key
 component far above any real vruntime (the paper's "arbitrarily large
 virtual runtime"), so ``pick_next`` naturally prefers every runnable task
 and only reaches blocked ones when the whole queue is blocked.
+
+Hot-path accounting is incremental: the queue counts its VB-blocked
+(sentinel-keyed) entries on enqueue/dequeue, so ``nr_schedulable()`` is
+O(1) instead of a per-call tree scan, and the tree's cached leftmost node
+makes ``peek_next``/``update_min_vruntime`` O(1).  This relies on an
+invariant the kernel maintains: a queued task's key class (sentinel vs
+real vruntime) always matches its ``thread_state`` at every point where
+the queue is observed — VB wake paths re-key the task in the same
+uninterruptible step that clears the flag.
 """
 
 from __future__ import annotations
+
+from typing import Iterator
 
 from ..util.rbtree import RedBlackTree
 from .task import Task, TaskState
@@ -28,6 +39,7 @@ class CfsRunqueue:
         self.curr: Task | None = None
         self.min_vruntime: int = 0
         self._seq = 0
+        self.nr_blocked = 0  # sentinel-keyed (VB-blocked) entries in tree
         self.nr_enqueues = 0
 
     # ------------------------------------------------------------------
@@ -36,7 +48,7 @@ class CfsRunqueue:
     @property
     def nr_queued(self) -> int:
         """Tasks waiting in the tree (including virtually blocked ones)."""
-        return len(self.tree)
+        return self.tree.size
 
     @property
     def nr_running(self) -> int:
@@ -46,12 +58,19 @@ class CfsRunqueue:
         load fluctuation that triggers migration storms under vanilla
         blocking (Section 3.1 / Table 1).
         """
-        return len(self.tree) + (1 if self.curr is not None else 0)
+        return self.tree.size + (1 if self.curr is not None else 0)
+
+    @property
+    def nr_queued_runnable(self) -> int:
+        """Queued tasks pick_next may actually run (excludes VB-blocked).
+        O(1): the blocked population is counted on enqueue/dequeue."""
+        return self.tree.size - self.nr_blocked
 
     def nr_schedulable(self) -> int:
         """Tasks that pick_next may actually run (excludes VB-blocked)."""
-        n = sum(1 for _, t in self.tree.items() if t.thread_state == 0)
-        if self.curr is not None and self.curr.thread_state == 0:
+        n = self.tree.size - self.nr_blocked
+        curr = self.curr
+        if curr is not None and curr.thread_state == 0:
             n += 1
         return n
 
@@ -69,12 +88,17 @@ class CfsRunqueue:
         key = self._key_for(task)
         self.tree.insert(key, task)
         task.rq_key = key
+        if key[0] >= VB_SENTINEL:
+            self.nr_blocked += 1
         self.nr_enqueues += 1
 
     def dequeue(self, task: Task) -> None:
-        assert task.rq_key is not None, f"{task} not queued"
-        self.tree.remove(task.rq_key)
+        key = task.rq_key
+        assert key is not None, f"{task} not queued"
+        self.tree.remove(key)
         task.rq_key = None
+        if key[0] >= VB_SENTINEL:
+            self.nr_blocked -= 1
 
     def requeue(self, task: Task) -> None:
         """Re-insert with a key reflecting the task's current state."""
@@ -86,29 +110,39 @@ class CfsRunqueue:
     # ------------------------------------------------------------------
     def peek_next(self) -> Task | None:
         """Leftmost task; may be VB-blocked if every queued task is."""
-        if not self.tree:
+        tree = self.tree
+        if tree.size == 0:
             return None
-        _, task = self.tree.min_item()
-        return task
+        return tree.min_value()
 
     def pick_next(self) -> Task | None:
         """Remove and return the leftmost task."""
-        if not self.tree:
+        tree = self.tree
+        if tree.size == 0:
             return None
-        _, task = self.tree.pop_min()
+        key, task = tree.pop_min()
+        if key[0] >= VB_SENTINEL:
+            self.nr_blocked -= 1
         task.rq_key = None
         return task
 
     def update_min_vruntime(self) -> None:
-        candidates = []
-        if self.curr is not None and self.curr.thread_state == 0:
-            candidates.append(self.curr.vruntime)
-        if self.tree:
-            key, task = self.tree.min_item()
-            if task.thread_state == 0:
-                candidates.append(key[0])
-        if candidates:
-            self.min_vruntime = max(self.min_vruntime, min(candidates))
+        """Advance ``min_vruntime`` monotonically toward the smallest
+        runnable vruntime.  O(1): reads the cached leftmost key and skips
+        the tree entirely when the leftmost entry is a VB sentinel (every
+        queued task blocked) — no scan, no ``min_item`` descent."""
+        curr = self.curr
+        vr = None
+        if curr is not None and curr.thread_state == 0:
+            vr = curr.vruntime
+        tree = self.tree
+        if tree.size:
+            key = tree.min_item()[0]
+            k0 = key[0]
+            if k0 < VB_SENTINEL and (vr is None or k0 < vr):
+                vr = k0
+        if vr is not None and vr > self.min_vruntime:
+            self.min_vruntime = vr
 
     def place_vruntime(self, task: Task, sleeper_bonus_ns: int = 0) -> None:
         """CFS ``place_entity``: cap a sleeper's vruntime near the queue's
@@ -116,14 +150,18 @@ class CfsRunqueue:
         target = self.min_vruntime - sleeper_bonus_ns
         task.vruntime = max(task.vruntime, target)
 
-    def tasks(self) -> list[Task]:
-        return [t for _, t in self.tree.items()]
+    def tasks(self) -> Iterator[Task]:
+        """Queued tasks in key order — a lazy iterator; callers that need
+        a snapshot (e.g. to mutate while iterating) must list() it."""
+        return self.tree.values()
 
-    def steal_candidates(self) -> list[Task]:
+    def steal_candidates(self) -> Iterator[Task]:
         """Queued tasks eligible for migration (never the current task;
-        VB-blocked tasks are skipped in migration, per Section 3.1)."""
-        return [
+        VB-blocked tasks are skipped in migration, per Section 3.1).
+        Lazy: balance scans probe many queues and often need none or one
+        item; use ``nr_queued_runnable`` for a pure existence check."""
+        return (
             t
-            for _, t in self.tree.items()
+            for t in self.tree.values()
             if t.thread_state == 0 and t.state is TaskState.RUNNABLE
-        ]
+        )

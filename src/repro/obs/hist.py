@@ -7,6 +7,13 @@ properties an always-on probe needs.  Bucket ``b`` holds values ``v`` with
 ``2**(b-1) <= v < 2**b`` (``v == 0`` lands in bucket 0), i.e. the bucket
 index is ``int(v).bit_length()``.
 
+Samples are *batched*: ``record`` is a bare list append, and the bucket
+and min/max/total accounting runs when the pending batch reaches
+``_FLUSH_AT`` entries or any statistic is read.  Aggregation order does
+not affect the result (sums and extrema commute), so batching changes
+nothing observable — it only moves work off the simulator's hot path,
+where a wakeup-heavy run records millions of samples.
+
 Percentiles are nearest-rank over buckets, reported as the bucket's upper
 bound clamped to the observed min/max — a conservative estimate whose
 error is bounded by the bucket width (< 2x), which is plenty for the
@@ -18,51 +25,106 @@ from __future__ import annotations
 import math
 from typing import Any
 
+# Pending samples per flush: large enough to amortize the loop, small
+# enough that the batch stays in cache.
+_FLUSH_AT = 512
+
 
 class Log2Histogram:
     """Histogram of non-negative integer samples (nanoseconds)."""
 
-    __slots__ = ("name", "counts", "count", "total", "min", "max")
+    __slots__ = ("name", "_counts", "_count", "_total", "_min", "_max",
+                 "_pending")
 
     def __init__(self, name: str = ""):
         self.name = name
-        self.counts: dict[int, int] = {}  # bucket exponent -> sample count
-        self.count = 0
-        self.total = 0
-        self.min = 0
-        self.max = 0
+        self._counts: dict[int, int] = {}  # bucket exponent -> sample count
+        self._count = 0
+        self._total = 0
+        self._min = 0
+        self._max = 0
+        self._pending: list[int] = []
 
     def record(self, value: int) -> None:
-        v = int(value)
-        if v < 0:
-            v = 0
-        b = v.bit_length()
-        self.counts[b] = self.counts.get(b, 0) + 1
-        if self.count == 0 or v < self.min:
-            self.min = v
-        if v > self.max:
-            self.max = v
-        self.count += 1
-        self.total += v
+        """Hot path: one list append; aggregation is deferred."""
+        pending = self._pending
+        pending.append(value)
+        if len(pending) >= _FLUSH_AT:
+            self._flush()
+
+    def _flush(self) -> None:
+        pending = self._pending
+        if not pending:
+            return
+        counts = self._counts
+        n = self._count
+        total = self._total
+        mn = self._min
+        mx = self._max
+        for value in pending:
+            v = int(value)
+            if v < 0:
+                v = 0
+            b = v.bit_length()
+            counts[b] = counts.get(b, 0) + 1
+            if n == 0 or v < mn:
+                mn = v
+            if v > mx:
+                mx = v
+            n += 1
+            total += v
+        pending.clear()
+        self._count = n
+        self._total = total
+        self._min = mn
+        self._max = mx
+
+    # -- flushing accessors (the public read API) ----------------------
+    @property
+    def count(self) -> int:
+        self._flush()
+        return self._count
+
+    @property
+    def total(self) -> int:
+        self._flush()
+        return self._total
+
+    @property
+    def min(self) -> int:
+        self._flush()
+        return self._min
+
+    @property
+    def max(self) -> int:
+        self._flush()
+        return self._max
+
+    @property
+    def counts(self) -> dict[int, int]:
+        self._flush()
+        return self._counts
 
     def percentile(self, pct: float) -> float:
         """Nearest-rank percentile, resolved to the bucket upper bound."""
         if not 0.0 <= pct <= 100.0:
             raise ValueError(f"percentile {pct} out of [0, 100]")
-        if not self.count:
+        self._flush()
+        if not self._count:
             return 0.0
-        rank = max(1, math.ceil(pct / 100.0 * self.count))
+        rank = max(1, math.ceil(pct / 100.0 * self._count))
         cum = 0
-        for b in sorted(self.counts):
-            cum += self.counts[b]
+        for b in sorted(self._counts):
+            cum += self._counts[b]
             if cum >= rank:
                 hi = (1 << b) - 1 if b > 0 else 0
-                return float(max(self.min, min(self.max, hi)))
-        return float(self.max)  # pragma: no cover - rank <= count
+                return float(max(self._min, min(self._max, hi)))
+        return float(self._max)  # pragma: no cover - rank <= count
 
     @property
     def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
+        self._flush()
+        return self._total / self._count if self._count else 0.0
 
     def summary(self) -> dict[str, Any]:
         """JSON-pure summary attached to ``RunStats.extra``."""
@@ -77,34 +139,40 @@ class Log2Histogram:
         }
 
     def merge(self, other: "Log2Histogram") -> None:
-        if not other.count:
+        self._flush()
+        other._flush()
+        if not other._count:
             return
-        for b, n in other.counts.items():
-            self.counts[b] = self.counts.get(b, 0) + n
-        if self.count == 0 or other.min < self.min:
-            self.min = other.min
-        self.max = max(self.max, other.max)
-        self.count += other.count
-        self.total += other.total
+        counts = self._counts
+        for b, n in other._counts.items():
+            counts[b] = counts.get(b, 0) + n
+        if self._count == 0 or other._min < self._min:
+            self._min = other._min
+        if other._max > self._max:
+            self._max = other._max
+        self._count += other._count
+        self._total += other._total
 
     def to_dict(self) -> dict[str, Any]:
+        self._flush()
         return {
             "name": self.name,
-            "count": self.count,
-            "total": self.total,
-            "min": self.min,
-            "max": self.max,
-            "buckets": {str(b): self.counts[b] for b in sorted(self.counts)},
+            "count": self._count,
+            "total": self._total,
+            "min": self._min,
+            "max": self._max,
+            "buckets": {str(b): self._counts[b]
+                        for b in sorted(self._counts)},
         }
 
     @classmethod
     def from_dict(cls, d: dict[str, Any]) -> "Log2Histogram":
         h = cls(d.get("name", ""))
-        h.count = int(d["count"])
-        h.total = int(d["total"])
-        h.min = int(d["min"])
-        h.max = int(d["max"])
-        h.counts = {int(b): int(n) for b, n in d["buckets"].items()}
+        h._count = int(d["count"])
+        h._total = int(d["total"])
+        h._min = int(d["min"])
+        h._max = int(d["max"])
+        h._counts = {int(b): int(n) for b, n in d["buckets"].items()}
         return h
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -14,6 +14,10 @@ run), so the full report is embarrassingly parallel.  This module provides:
   worker and one retry on worker crash, merges results deterministically in
   spec order, and caches each spec's result as JSON under ``.repro-cache/``
   keyed on a SHA-256 of (canonical params, seed, repro ``__version__``).
+  Dispatch is longest-first (LPT): each cache entry records the spec's
+  measured wall time, and later runs submit the slowest specs first so the
+  one long simulation (memcached) doesn't start last and stretch the tail;
+  cold specs are ordered by a per-runner size heuristic.
 
 Because every simulation is bit-reproducible for a fixed seed, a result is
 the same whether it was computed serially, in a worker process, or loaded
@@ -306,9 +310,63 @@ def _alarm_handler(_signum, _frame):  # pragma: no cover - fires in workers
     raise TimeoutError("spec exceeded its timeout")
 
 
+# Per-runner cost hints: coarse, unitless proxies for a spec's wall time,
+# used only to order dispatch (longest first) on cold caches.  Wrong hints
+# cost a little tail latency, never correctness — results are merged in
+# spec order regardless.
+_COST_HINTS: dict[str, Callable[[dict], float]] = {
+    "suite_point": lambda p: (
+        p.get("nthreads", 8) * (p.get("work_scale") or 1.0)
+    ),
+    "direct_cost": lambda p: (
+        p.get("nthreads", 8) * p.get("total_work_ms", 30.0) / 30.0
+    ),
+    "per_switch": lambda p: float(p.get("nthreads", 8)),
+    "indirect_cost": lambda p: float(len(p.get("sizes_bytes", [1]))),
+    "primitive": lambda p: (
+        p.get("nthreads", 8) * p.get("iterations", 1_000) / 1_000.0
+    ),
+    # The memcached server sim dominates full-report wall time: weight it
+    # so it dispatches ahead of the short suite points.
+    "memcached": lambda p: (
+        p.get("workers", 8) * p.get("duration_ms", 50.0)
+    ),
+    "spin_pipeline": lambda p: (
+        p.get("nthreads", 8) * p.get("total_stages", 960) / 100.0
+    ),
+    "table2_tp": lambda p: float(p.get("duration_ms", 50.0)),
+    "table3_fp": lambda p: (
+        10.0 * len(p.get("seeds", [0])) * (p.get("work_scale") or 1.0)
+    ),
+    "debug_sleep": lambda p: float(p.get("seconds", 0.0)),
+}
+
+
+def estimated_cost(spec: ExperimentSpec) -> float:
+    """Unitless dispatch-priority estimate for a spec (bigger = longer)."""
+    hint = _COST_HINTS.get(spec.runner)
+    if hint is None:
+        return 1.0
+    try:
+        return float(hint(spec.params))
+    except (TypeError, ValueError):  # malformed params: run it last-ish
+        return 1.0
+
+
 def trace_artifact_name(spec_id: str) -> str:
     """Filesystem-safe per-spec trace file name."""
     return spec_id.replace("/", "__") + ".jsonl"
+
+
+def execute_spec_timed(payload: dict, timeout_s: float | None,
+                       obs: dict | None = None) -> tuple[dict, float]:
+    """``execute_spec`` plus the spec's wall time, measured in the worker
+    (so pool queueing skew is excluded).  The runner stores the duration
+    alongside the cached result and uses it on later runs to dispatch
+    longest specs first."""
+    t0 = time.monotonic()
+    result = execute_spec(payload, timeout_s, obs)
+    return result, time.monotonic() - t0
 
 
 def execute_spec(payload: dict, timeout_s: float | None,
@@ -447,7 +505,8 @@ class ParallelRunner:
             return None
         return entry.get("result") if isinstance(entry, dict) else None
 
-    def cache_store(self, spec: ExperimentSpec, result: Any) -> None:
+    def cache_store(self, spec: ExperimentSpec, result: Any,
+                    wall_s: float | None = None) -> None:
         if not self.use_cache:
             return
         assert self.cache_dir is not None
@@ -461,6 +520,9 @@ class ParallelRunner:
             "version": self.version,
             "result": result,
         }
+        if wall_s is not None:
+            # Not part of the result: feeds longest-first dispatch only.
+            entry["wall_s"] = round(wall_s, 6)
         tmp = path + f".tmp.{os.getpid()}"
         with open(tmp, "w", encoding="utf-8") as f:
             json.dump(entry, f, sort_keys=True)
@@ -489,6 +551,7 @@ class ParallelRunner:
 
         pending = [i for i in range(len(specs)) if not done[i]]
         if pending:
+            pending = self._dispatch_order(specs, pending)
             if self.jobs == 1:
                 self._run_inline(specs, results, pending)
             else:
@@ -496,10 +559,39 @@ class ParallelRunner:
         self._tick()
         return results
 
+    def _recorded_wall_s(self, spec: ExperimentSpec) -> float | None:
+        """Wall time of a previous execution, if a cache entry recorded
+        one.  Read even when result reuse is off (--no-cache): the timing
+        only orders dispatch, it never feeds results."""
+        if self.cache_dir is None:
+            return None
+        try:
+            with open(self._cache_path(spec), "r", encoding="utf-8") as f:
+                entry = json.load(f)
+        except (OSError, ValueError):
+            return None
+        wall = entry.get("wall_s") if isinstance(entry, dict) else None
+        return float(wall) if isinstance(wall, (int, float)) else None
+
+    def _dispatch_order(self, specs: list[ExperimentSpec],
+                        pending: list[int]) -> list[int]:
+        """Order pending specs longest-first so a long spec never starts
+        last and stretches the tail (classic LPT scheduling).  Prior
+        recorded durations win; cold specs fall back to the per-runner
+        size heuristic.  Ties break on spec index, so the order — and with
+        it the cache/results state — is deterministic."""
+        keyed = []
+        for i in pending:
+            wall = self._recorded_wall_s(specs[i])
+            cost = wall if wall is not None else estimated_cost(specs[i])
+            keyed.append((-cost, i))
+        keyed.sort()
+        return [i for _, i in keyed]
+
     def _record(self, spec: ExperimentSpec, results: list, i: int,
-                value: Any) -> None:
+                value: Any, wall_s: float | None = None) -> None:
         results[i] = value
-        self.cache_store(spec, value)
+        self.cache_store(spec, value, wall_s)
         self.stats.executed += 1
         self.stats.completed += 1
         self.stats.phase = spec.id.split("/", 1)[0]
@@ -512,12 +604,13 @@ class ParallelRunner:
                 if attempt:
                     self.stats.retried += 1
                 try:
-                    value = execute_spec(specs[i].payload(), self.timeout_s,
-                                         self._obs())
+                    value, wall_s = execute_spec_timed(
+                        specs[i].payload(), self.timeout_s, self._obs()
+                    )
                 except Exception as exc:
                     last_exc = exc
                     continue
-                self._record(specs[i], results, i, value)
+                self._record(specs[i], results, i, value, wall_s)
                 last_exc = None
                 break
             if last_exc is not None:
@@ -539,21 +632,23 @@ class ParallelRunner:
             # simulation) breaks the whole executor, so survivors of the
             # round are retried in a clean one.
             with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                # dict preserves insertion order: workers pick specs up
+                # longest-first as submitted.
                 futures = {
-                    pool.submit(execute_spec, specs[i].payload(),
+                    pool.submit(execute_spec_timed, specs[i].payload(),
                                 self.timeout_s, self._obs()): i
                     for i in todo
                 }
                 for fut in as_completed(futures):
                     i = futures[fut]
                     try:
-                        value = fut.result()
+                        value, wall_s = fut.result()
                     except Exception as exc:
                         failed.append(i)
                         failures[i] = exc
                         continue
                     failures.pop(i, None)
-                    self._record(specs[i], results, i, value)
+                    self._record(specs[i], results, i, value, wall_s)
             todo = sorted(failed)
         if todo:
             detail = "; ".join(

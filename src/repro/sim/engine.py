@@ -1,15 +1,25 @@
 """Discrete-event engine with an integer-nanosecond clock.
 
-The engine is a single priority queue of ``(time, seq, handle)`` entries.
+Events live in a *bucketed timer wheel*: a dict mapping each distinct
+deadline to a FIFO list of handles, plus a heap of the distinct deadlines
+themselves.  Because the per-deadline lists are appended in scheduling
+order, draining the wheel bucket-by-bucket replays events in exactly
+``(time, schedule order)`` — the same total order as the classic
+``(time, seq, handle)`` heap, so every simulation stays bit-reproducible
+for a fixed seed.  The wheel coalesces heap traffic: scheduling onto an
+existing deadline is one dict lookup and a list append (no heap churn),
+which is the common case for per-CPU tick events that repeatedly land on
+the same slice boundary or action deadline.
+
 Cancellation is lazy: :class:`EventHandle` carries a ``cancelled`` flag and
-popped events whose handle was cancelled are dropped.  ``seq`` makes ordering
-of simultaneous events deterministic (FIFO in scheduling order), which in turn
-makes every simulation bit-reproducible for a fixed seed.
+popped events whose handle was cancelled are dropped.  The time of the next
+*live* event is cached (``_next_time``) so back-to-back ``peek_time`` calls
+and the run loop's bound checks do not rescan cancelled prefixes.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable
 
 from ..errors import SimulationError
@@ -44,6 +54,9 @@ class EventHandle:
         self._engine = None
         if engine is not None:
             engine._live -= 1
+            if engine._next_time is not None and self.time <= engine._next_time:
+                # The cached next-live time may have pointed at this event.
+                engine._next_time = None
         # Drop references so cancelled events do not pin large objects
         # while they wait to be popped from the heap.
         self.fn = _noop
@@ -54,17 +67,36 @@ def _noop(*_args) -> None:  # pragma: no cover - trivial
     return None
 
 
+_new_handle = EventHandle.__new__
+
+
 class Engine:
     """Event loop owning the simulated clock."""
 
-    __slots__ = ("now", "_heap", "_seq", "_events_run", "_live")
+    __slots__ = (
+        "now",
+        "_times",
+        "_buckets",
+        "_head",
+        "_head_idx",
+        "_head_time",
+        "_events_run",
+        "_live",
+        "_next_time",
+    )
 
     def __init__(self) -> None:
         self.now: int = 0
-        self._heap: list[tuple[int, int, EventHandle]] = []
-        self._seq = 0
+        # Timer wheel: distinct deadlines (min-heap) -> FIFO handle lists.
+        self._times: list[int] = []
+        self._buckets: dict[int, list[EventHandle]] = {}
+        # The bucket currently being drained (popped off ``_buckets``).
+        self._head: list[EventHandle] | None = None
+        self._head_idx = 0
+        self._head_time = 0
         self._events_run = 0
         self._live = 0
+        self._next_time: int | None = None  # cached next-live-event time
 
     @property
     def events_run(self) -> int:
@@ -82,10 +114,24 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule event at t={time} before now={self.now}"
             )
-        handle = EventHandle(time, fn, args, engine=self)
-        heapq.heappush(self._heap, (time, self._seq, handle))
-        self._seq += 1
+        # Build the handle without the __init__ call frame — this is the
+        # single most-executed allocation in a simulation.
+        handle = _new_handle(EventHandle)
+        handle.time = time
+        handle.fn = fn
+        handle.args = args
+        handle.cancelled = False
+        handle._engine = self
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = [handle]
+            heappush(self._times, time)
+        else:
+            bucket.append(handle)
         self._live += 1
+        nt = self._next_time
+        if nt is not None and time < nt:
+            self._next_time = time
         return handle
 
     def schedule(self, delay: int, fn: Callable[..., Any], *args) -> EventHandle:
@@ -93,25 +139,58 @@ class Engine:
             raise SimulationError(f"negative delay {delay}")
         return self.schedule_at(self.now + delay, fn, *args)
 
+    def _advance_head(self) -> EventHandle | None:
+        """Return the next live handle without firing it, advancing past
+        cancelled entries and exhausted buckets; None when drained."""
+        while True:
+            head = self._head
+            if head is not None:
+                idx = self._head_idx
+                n = len(head)
+                while idx < n:
+                    handle = head[idx]
+                    if handle.cancelled:
+                        idx += 1
+                        continue
+                    self._head_idx = idx
+                    return handle
+                self._head = None
+            times = self._times
+            if not times:
+                self._next_time = None
+                return None
+            t = heappop(times)
+            self._head = self._buckets.pop(t)
+            self._head_idx = 0
+            self._head_time = t
+
     def peek_time(self) -> int | None:
         """Time of the next live event, or None if the queue is empty."""
-        while self._heap and self._heap[0][2].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0][0] if self._heap else None
+        nt = self._next_time
+        if nt is not None:
+            return nt
+        handle = self._advance_head()
+        if handle is None:
+            return None
+        self._next_time = handle.time
+        return handle.time
 
     def step(self) -> bool:
         """Run the next live event. Returns False if none remain."""
-        while self._heap:
-            time, _, handle = heapq.heappop(self._heap)
-            if handle.cancelled:
-                continue
-            self.now = time
-            self._events_run += 1
-            self._live -= 1
-            handle._engine = None  # fired: a late cancel() must not decrement
-            handle.fn(*handle.args)
-            return True
-        return False
+        handle = self._advance_head()
+        if handle is None:
+            return False
+        self._head_idx += 1
+        self._next_time = None
+        self.now = handle.time
+        self._events_run += 1
+        self._live -= 1
+        # Mark consumed: a late cancel() is a no-op, and owners holding the
+        # handle can see it needs no cancellation (one flag test, no call).
+        handle.cancelled = True
+        handle._engine = None
+        handle.fn(*handle.args)
+        return True
 
     def run(
         self,
@@ -122,6 +201,8 @@ class Engine:
         """Run events until the queue drains, ``until`` passes, or
         ``stop_when()`` becomes true (checked between events)."""
         count = 0
+        buckets = self._buckets
+        times = self._times
         while True:
             if stop_when is not None and stop_when():
                 return
@@ -130,16 +211,52 @@ class Engine:
                     f"exceeded max_events={max_events} at t={self.now}; "
                     "likely a livelock in the simulated system"
                 )
-            t = self.peek_time()
-            if t is None:
+            # Inlined _advance_head(): find the next live handle.
+            handle = None
+            while True:
+                head = self._head
+                if head is not None:
+                    idx = self._head_idx
+                    n = len(head)
+                    while idx < n:
+                        h = head[idx]
+                        if h.cancelled:
+                            idx += 1
+                            continue
+                        self._head_idx = idx
+                        handle = h
+                        break
+                    else:
+                        self._head = None
+                        continue
+                    break
+                if not times:
+                    self._next_time = None
+                    break
+                t = heappop(times)
+                self._head = buckets.pop(t)
+                self._head_idx = 0
+                self._head_time = t
+            if handle is None:
                 # Queue empty or fully drained: the run still covers the
                 # whole [now, until] window, so advance the clock to the
                 # bound — same as the not-yet-due path below.
                 if until is not None and until > self.now:
                     self.now = until
                 return
+            t = handle.time
             if until is not None and t > until:
-                self.now = max(self.now, until)
+                self._next_time = t
+                if until > self.now:
+                    self.now = until
                 return
-            self.step()
+            # Inlined step(): the handle is live and due.
+            self._head_idx += 1
+            self._next_time = None
+            self.now = t
+            self._events_run += 1
+            self._live -= 1
+            handle.cancelled = True  # consumed (see step())
+            handle._engine = None
+            handle.fn(*handle.args)
             count += 1

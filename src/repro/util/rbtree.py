@@ -32,19 +32,25 @@ class _Node:
 
 
 class RedBlackTree:
-    """Ordered key -> value map with O(log n) insert/delete/min."""
+    """Ordered key -> value map with O(log n) insert/delete/min.
 
-    __slots__ = ("_root", "_size")
+    The leftmost node is cached (Linux's ``rb_leftmost``) so ``min_item``
+    and ``pop_min`` locate the minimum in O(1); the cache is maintained
+    incrementally on insert and delete.
+    """
+
+    __slots__ = ("_root", "size", "_lm")
 
     def __init__(self) -> None:
         self._root: _Node | None = None
-        self._size = 0
+        self.size = 0  # public: hot callers read it directly (no __len__ call)
+        self._lm: _Node | None = None  # cached leftmost node
 
     def __len__(self) -> int:
-        return self._size
+        return self.size
 
     def __bool__(self) -> bool:
-        return self._size > 0
+        return self.size > 0
 
     def __contains__(self, key) -> bool:
         return self._find(key) is not None
@@ -65,11 +71,18 @@ class RedBlackTree:
         return default if node is None else node.value
 
     def min_item(self) -> tuple[Any, Any]:
-        """Return ``(key, value)`` of the leftmost node."""
-        if self._root is None:
+        """Return ``(key, value)`` of the leftmost node (O(1), cached)."""
+        node = self._lm
+        if node is None:
             raise KeyError("min_item() on empty tree")
-        node = self._leftmost(self._root)
         return node.key, node.value
+
+    def min_value(self):
+        """Value of the leftmost node (O(1), cached)."""
+        node = self._lm
+        if node is None:
+            raise KeyError("min_value() on empty tree")
+        return node.value
 
     def max_item(self) -> tuple[Any, Any]:
         if self._root is None:
@@ -125,7 +138,10 @@ class RedBlackTree:
             parent.left = new
         else:
             parent.right = new
-        self._size += 1
+        lm = self._lm
+        if lm is None or key < lm.key:
+            self._lm = new
+        self.size += 1
         self._insert_fixup(new)
 
     def _insert_fixup(self, z: _Node) -> None:
@@ -170,19 +186,35 @@ class RedBlackTree:
         if node is None:
             raise KeyError(key)
         value = node.value
+        if node is self._lm:
+            self._lm = self._successor_of_leftmost(node)
         self._delete_node(node)
-        self._size -= 1
+        self.size -= 1
         return value
 
     def pop_min(self) -> tuple[Any, Any]:
-        """Remove and return the leftmost ``(key, value)``."""
-        if self._root is None:
+        """Remove and return the leftmost ``(key, value)`` (O(1) lookup)."""
+        node = self._lm
+        if node is None:
             raise KeyError("pop_min() on empty tree")
-        node = self._leftmost(self._root)
         out = (node.key, node.value)
+        self._lm = self._successor_of_leftmost(node)
         self._delete_node(node)
-        self._size -= 1
+        self.size -= 1
         return out
+
+    @staticmethod
+    def _successor_of_leftmost(node: _Node) -> _Node | None:
+        """In-order successor of the leftmost node (which has no left
+        child): the bottom-left of its right subtree, else its parent.
+        Computed *before* deletion; the successor node object survives
+        any transplanting the deletion does."""
+        if node.right is not None:
+            succ = node.right
+            while succ.left is not None:
+                succ = succ.left
+            return succ
+        return node.parent
 
     def _transplant(self, u: _Node, v: _Node | None) -> None:
         if u.parent is None:
@@ -329,7 +361,9 @@ class RedBlackTree:
     def validate(self) -> None:
         """Raise AssertionError if red-black invariants are violated."""
         if self._root is None:
+            assert self._lm is None, "leftmost cache must be None when empty"
             return
+        assert self._lm is self._leftmost(self._root), "leftmost cache stale"
         assert self._root.color is BLACK, "root must be black"
         self._check(self._root, None, None)
 

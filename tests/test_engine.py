@@ -207,7 +207,10 @@ def test_pending_matches_heap_scan():
             handles.pop(rng.randrange(len(handles))).cancel()
         else:
             e.step()
-        live = sum(1 for _, _, h in e._heap if not h.cancelled)
+        queued = [h for bucket in e._buckets.values() for h in bucket]
+        if e._head is not None:
+            queued.extend(e._head[e._head_idx:])
+        live = sum(1 for h in queued if not h.cancelled)
         assert e.pending == live
 
 

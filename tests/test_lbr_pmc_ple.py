@@ -143,3 +143,61 @@ def test_ple_disabled_never_fires():
     ple = PauseLoopExiting(PleConfig(enabled=False), num_cpus=1)
     assert not ple.observe(0, 0, True)
     assert not ple.observe(0, 10**9, True)
+
+
+# ---------------------------------------------------------------------------
+# Boolean fast paths: must match the object-building originals AND consume
+# the RNG stream identically (BWD's bit-reproducibility depends on both).
+
+
+def test_lbr_signature_fast_path_equivalence():
+    from repro.hw.lbr import synthesize_lbr_signature
+
+    cases = [
+        (16, 1.0, 7, 0.0),
+        (16, 1.0, 7, 0.1),
+        (16, 1.0, 7, 0.9),
+        (16, 0.0, 7, 0.0),
+        (16, 0.4, 3, 0.0),
+        (8, 0.0, 1, 0.0),
+        (1, 0.0, 1, 0.0),
+        (1, 1.0, 1, 0.5),
+    ]
+    for capacity, frac, sig, pollution in cases:
+        for seed in range(50):
+            rng_a = np.random.default_rng(seed)
+            rng_b = np.random.default_rng(seed)
+            slow = synthesize_lbr(capacity, frac, sig, rng_a, pollution)
+            fast = synthesize_lbr_signature(capacity, frac, sig, rng_b, pollution)
+            assert fast == slow.is_spin_signature(), (capacity, frac, seed)
+            # Streams advanced identically: the next draw must agree.
+            assert rng_a.random() == rng_b.random(), (capacity, frac, seed)
+
+
+def test_pmc_miss_free_fast_path_equivalence():
+    from repro.hw.pmc import synthesize_pmc_miss_free
+
+    profile = ProfilingConfig()
+    cases = [
+        (100_000, 1.0, 0.0, 1.0),
+        (100_000, 0.0, 0.0, 1.0),
+        (100_000, 0.0, 0.3, 1.0),
+        (100_000, 0.6, 0.0, 0.5),
+        (100_000, 0.3, 0.8, 2.0),
+        (100_000, 0.9999, 0.0, 1e-6),
+        (50_000, 0.5, 0.5, 0.01),
+    ]
+    for window, frac, tight, scale in cases:
+        for seed in range(50):
+            rng_a = np.random.default_rng(seed)
+            rng_b = np.random.default_rng(seed)
+            slow = synthesize_pmc(
+                window, frac, profile, rng_a,
+                tight_loop_probability=tight, miss_rate_scale=scale,
+            )
+            fast = synthesize_pmc_miss_free(
+                window, frac, profile, rng_b,
+                tight_loop_probability=tight, miss_rate_scale=scale,
+            )
+            assert fast == slow.miss_free, (window, frac, tight, scale, seed)
+            assert rng_a.random() == rng_b.random(), (window, frac, seed)

@@ -143,3 +143,66 @@ def test_property_pop_min_is_sorted_drain(keys):
         t.insert(k, None)
     drained = [t.pop_min()[0] for _ in range(len(keys))]
     assert drained == sorted(keys)
+
+
+def test_min_value_matches_min_item():
+    t = RedBlackTree()
+    for k in (5, 3, 9, 1, 7):
+        t.insert(k, f"v{k}")
+    assert t.min_item() == (1, "v1")
+    assert t.min_value() == "v1"
+    t.remove(1)
+    assert t.min_value() == "v3"
+
+
+def test_leftmost_cache_tracks_insert_remove_popmin():
+    t = RedBlackTree()
+    t.insert(10, None)
+    t.validate()
+    t.insert(5, None)  # new leftmost
+    t.validate()
+    t.insert(20, None)  # not leftmost
+    t.validate()
+    assert t.min_item()[0] == 5
+    t.remove(5)  # leftmost removed -> successor becomes leftmost
+    t.validate()
+    assert t.min_item()[0] == 10
+    assert t.pop_min()[0] == 10
+    t.validate()
+    assert t.pop_min()[0] == 20
+    t.validate()
+    assert len(t) == 0
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=10**4), unique=True, min_size=1),
+    st.data(),
+)
+def test_property_leftmost_cache_under_churn(keys, data):
+    """min_item must stay O(1)-correct through arbitrary insert/remove/
+    pop_min interleavings (validate() checks the cache every step)."""
+    t = RedBlackTree()
+    alive: list[int] = []
+    for k in keys:
+        t.insert(k, k)
+        alive.append(k)
+    ops = data.draw(st.lists(st.integers(0, 2), max_size=30))
+    for op in ops:
+        if not alive:
+            break
+        if op == 0:
+            k = data.draw(st.sampled_from(alive))
+            t.remove(k)
+            alive.remove(k)
+        elif op == 1:
+            k, _ = t.pop_min()
+            alive.remove(k)
+        else:
+            k = data.draw(st.integers(10**4 + 1, 10**5))
+            if k not in t:
+                t.insert(k, k)
+                alive.append(k)
+        t.validate()
+        if alive:
+            assert t.min_item()[0] == min(alive)

@@ -82,7 +82,8 @@ def test_steal_candidates_skip_blocked():
     b = make_task("b", 2, thread_state=1)
     rq.enqueue(a)
     rq.enqueue(b)
-    assert rq.steal_candidates() == [a]
+    assert list(rq.steal_candidates()) == [a]
+    assert rq.nr_queued_runnable == 1
 
 
 def test_min_vruntime_monotonic():
@@ -131,3 +132,48 @@ def test_dequeue_unqueued_asserts():
     rq = CfsRunqueue(0)
     with pytest.raises(AssertionError):
         rq.dequeue(make_task("x"))
+
+
+def test_nr_queued_runnable_counter_incremental():
+    rq = CfsRunqueue(0)
+    a = make_task("a", 1)
+    b = make_task("b", 2, thread_state=1)
+    c = make_task("c", 3, thread_state=1)
+    rq.enqueue(a)
+    rq.enqueue(b)
+    rq.enqueue(c)
+    assert rq.nr_queued == 3
+    assert rq.nr_queued_runnable == 1
+    assert rq.nr_schedulable() == 1
+    # VB wake path: flag cleared and re-keyed in one step via requeue.
+    b.thread_state = 0
+    rq.requeue(b)
+    assert rq.nr_queued_runnable == 2
+    # pick_next removes the leftmost runnable, keeping the count in sync.
+    got = rq.pick_next()
+    assert got is a
+    assert rq.nr_queued_runnable == 1
+    # Dequeue of a blocked (sentinel-keyed) task decrements only blocked.
+    rq.dequeue(c)
+    assert rq.nr_queued == 1
+    assert rq.nr_queued_runnable == 1
+    # Drain to the end: picking a blocked task must also stay consistent.
+    rq.dequeue(b)
+    d = make_task("d", 4, thread_state=1)
+    rq.enqueue(d)
+    assert rq.nr_queued_runnable == 0
+    assert rq.pick_next() is d
+    assert rq.nr_queued == 0 and rq.nr_queued_runnable == 0
+
+
+def test_update_min_vruntime_ignores_sentinel_keys():
+    rq = CfsRunqueue(0)
+    blocked = make_task("b", 50, thread_state=1)
+    rq.enqueue(blocked)
+    rq.update_min_vruntime()
+    # Only a VB sentinel is queued: min_vruntime must not jump to it.
+    assert rq.min_vruntime == 0
+    runnable = make_task("a", 700)
+    rq.enqueue(runnable)
+    rq.update_min_vruntime()
+    assert rq.min_vruntime == 700
