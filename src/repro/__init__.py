@@ -58,7 +58,9 @@ from .metrics import RunStats, collect, percentile, summarize_latencies
 
 # 1.1.0: result payloads gained the "extra" histogram summaries — the bump
 # invalidates pre-observability cache entries.
-__version__ = "1.1.0"
+# 1.2.0: cache entries gained schema/sha256 integrity fields (CACHE_SCHEMA
+# 2); the bump gives hardened entries fresh keys.
+__version__ = "1.2.0"
 
 __all__ = [
     "SimConfig",

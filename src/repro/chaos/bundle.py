@@ -1,0 +1,255 @@
+"""Replay bundles: any chaos failure is a one-command deterministic repro.
+
+A bundle captures everything needed to reproduce a perturbed run:
+
+* the *workload descriptor* — a registered runner name + JSON params +
+  seed (the same vocabulary :mod:`repro.runners.parallel` uses), and
+* the *injection plan* (seeded fault schedule + checker knobs), plus
+* what happened: the structured violation (or crash), chaos counters, the
+  applied-fault log, and the last N trace records before the failure.
+
+Because the simulator is bit-reproducible for a fixed (workload seed,
+plan), re-running the bundle's workload under its plan reaches the same
+violation at the same simulated time and event index — that equality is
+what ``repro chaos replay bundle.json`` verifies.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import InvariantViolation, ReproError
+from .faults import InjectionPlan
+
+BUNDLE_VERSION = 1
+
+
+def _stable_dumps(value: Any, indent: int | None = None) -> str:
+    """Deterministic JSON encoding (sorted keys, fixed separators)."""
+    if indent is None:
+        return json.dumps(value, sort_keys=True, separators=(",", ":"))
+    return json.dumps(value, sort_keys=True, indent=indent)
+
+
+def result_checksum(result: Any) -> str:
+    return hashlib.sha256(_stable_dumps(result).encode("utf-8")).hexdigest()
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion of violation details to plain JSON."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+@dataclass
+class ChaosOutcome:
+    """What one chaos run produced."""
+
+    ok: bool
+    violation: dict | None  # structured failure, or None on a clean run
+    result: Any  # the runner's return value (clean runs only)
+    result_sha256: str | None
+    stats: dict  # merged ChaosStats counters across kernels
+    applied: list  # applied-fault log [{at_ns, kind, note}, ...]
+    trace_tail: list  # last N trace records before the run ended
+    invariant_checks: int  # full checker passes across kernels
+
+
+@dataclass
+class ReplayBundle:
+    """The serialized repro: workload + plan + observed failure."""
+
+    workload: dict  # {"runner": name, "params": {...}, "seed": int}
+    plan: dict  # InjectionPlan.to_json()
+    violation: dict | None
+    result_sha256: str | None = None
+    stats: dict = field(default_factory=dict)
+    applied: list = field(default_factory=list)
+    trace_tail: list = field(default_factory=list)
+    invariant_checks: int = 0
+    version: int = BUNDLE_VERSION
+
+    def to_json(self) -> dict:
+        return {
+            "version": self.version,
+            "workload": self.workload,
+            "plan": self.plan,
+            "violation": self.violation,
+            "result_sha256": self.result_sha256,
+            "stats": self.stats,
+            "applied": self.applied,
+            "trace_tail": self.trace_tail,
+            "invariant_checks": self.invariant_checks,
+        }
+
+    def dumps(self) -> str:
+        """Canonical bundle text: byte-identical for identical runs."""
+        return _stable_dumps(self.to_json(), indent=2) + "\n"
+
+    def save(self, path: str) -> None:
+        d = os.path.dirname(path)
+        if d:
+            os.makedirs(d, exist_ok=True)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as f:
+            f.write(self.dumps())
+        os.replace(tmp, path)
+
+    @classmethod
+    def from_json(cls, d: dict) -> "ReplayBundle":
+        version = int(d.get("version", BUNDLE_VERSION))
+        if version > BUNDLE_VERSION:
+            raise ReproError(
+                f"replay bundle version {version} is newer than "
+                f"supported version {BUNDLE_VERSION}"
+            )
+        return cls(
+            workload=dict(d["workload"]),
+            plan=dict(d["plan"]),
+            violation=d.get("violation"),
+            result_sha256=d.get("result_sha256"),
+            stats=dict(d.get("stats") or {}),
+            applied=list(d.get("applied") or []),
+            trace_tail=list(d.get("trace_tail") or []),
+            invariant_checks=int(d.get("invariant_checks", 0)),
+            version=version,
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "ReplayBundle":
+        with open(path, "r", encoding="utf-8") as f:
+            return cls.from_json(json.load(f))
+
+
+# ---------------------------------------------------------------------------
+# Running a workload under a plan
+# ---------------------------------------------------------------------------
+def run_chaos_spec(workload: dict, plan: InjectionPlan) -> ChaosOutcome:
+    """Run one registered runner under ``plan``; never raises for
+    simulation failures (they become the outcome's ``violation``).
+
+    ``workload`` uses the parallel runner's vocabulary:
+    ``{"runner": name, "params": {...}, "seed": int}``.  Chaos targets
+    single-kernel runners; when a runner builds several kernels the plan
+    applies to each and the counters are merged.
+    """
+    from ..runners.parallel import RUNNERS  # lazy: avoids an import cycle
+    from . import chaos_session
+
+    fn = RUNNERS.get(workload["runner"])
+    if fn is None:
+        raise ReproError(f"unknown runner {workload['runner']!r}")
+    params = dict(workload.get("params") or {})
+    violation: dict | None = None
+    result: Any = None
+    with chaos_session(plan) as sess:
+        try:
+            result = fn(**params)
+        except InvariantViolation as exc:
+            violation = {
+                "invariant": exc.invariant,
+                "message": str(exc),
+                "time_ns": exc.time_ns,
+                "events_run": exc.events_run,
+                "details": _jsonable(exc.details),
+            }
+        except ReproError as exc:
+            # Non-invariant simulation failures (a pinned task losing its
+            # CPU, a deadlock deadline, a program crash) are replayable
+            # failures too.
+            violation = {
+                "invariant": "crash",
+                "error_type": type(exc).__name__,
+                "message": str(exc),
+            }
+    stats: dict[str, int] = {}
+    applied: list[dict] = []
+    checks = 0
+    tail: list[dict] = []
+    for ctl in sess.controllers:
+        for key, val in ctl.stats.as_dict().items():
+            stats[key] = stats.get(key, 0) + val
+        applied.extend(a.as_dict() for a in ctl.applied)
+        if ctl.kernel.invariants is not None:
+            checks += ctl.kernel.invariants.checks
+    if sess.controllers:
+        trace = sess.controllers[-1].kernel.trace
+        if trace.enabled:
+            tail = [
+                {
+                    "time": e.time,
+                    "kind": e.kind,
+                    "cpu": e.cpu,
+                    "task": e.task,
+                    "detail": _jsonable(e.detail),
+                }
+                for e in list(trace.events)[-plan.trace_tail :]
+            ]
+    ok = violation is None
+    return ChaosOutcome(
+        ok=ok,
+        violation=violation,
+        result=result if ok else None,
+        result_sha256=result_checksum(result) if ok else None,
+        stats=stats,
+        applied=applied,
+        trace_tail=tail,
+        invariant_checks=checks,
+    )
+
+
+def make_bundle(
+    workload: dict, plan: InjectionPlan, outcome: ChaosOutcome
+) -> ReplayBundle:
+    return ReplayBundle(
+        workload=dict(workload),
+        plan=plan.to_json(),
+        violation=outcome.violation,
+        result_sha256=outcome.result_sha256,
+        stats=outcome.stats,
+        applied=outcome.applied,
+        trace_tail=outcome.trace_tail,
+        invariant_checks=outcome.invariant_checks,
+    )
+
+
+def replay_bundle(
+    bundle: ReplayBundle,
+) -> tuple[ChaosOutcome, bool, list[str]]:
+    """Re-run a bundle's workload under its plan and compare outcomes.
+
+    Returns ``(outcome, reproduced, differences)`` — ``reproduced`` is
+    True when the re-run reaches the same violation (or the same clean
+    result checksum) as the bundle recorded.
+    """
+    plan = InjectionPlan.from_json(bundle.plan)
+    outcome = run_chaos_spec(bundle.workload, plan)
+    diffs: list[str] = []
+    if bundle.violation != outcome.violation:
+        want = (bundle.violation or {}).get("invariant", "clean")
+        got = (outcome.violation or {}).get("invariant", "clean")
+        diffs.append(f"violation differs: recorded {want!r}, replay {got!r}")
+        for key in ("time_ns", "events_run", "message"):
+            a = (bundle.violation or {}).get(key)
+            b = (outcome.violation or {}).get(key)
+            if a != b:
+                diffs.append(f"  {key}: recorded {a!r}, replay {b!r}")
+    if (
+        bundle.violation is None
+        and bundle.result_sha256 is not None
+        and bundle.result_sha256 != outcome.result_sha256
+    ):
+        diffs.append(
+            f"result checksum differs: recorded {bundle.result_sha256}, "
+            f"replay {outcome.result_sha256}"
+        )
+    return outcome, not diffs, diffs

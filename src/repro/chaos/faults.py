@@ -1,0 +1,240 @@
+"""Fault model: serializable, seeded injection plans.
+
+A plan is a list of :class:`FaultEvent` records, each applied at a fixed
+simulated time.  Plans are plain JSON (no wall-clock, no object refs), so
+the same plan + the same workload seed replays the same perturbed run
+byte-for-byte — which is what makes a chaos failure a one-command repro.
+
+Fault kinds
+-----------
+``cpu-remove``      hot-unplug ``count`` CPUs (never below 1); tasks on
+                    the victims — including BWD-descheduled spinners and
+                    VB-blocked lock holders — are migrated off, and pinned
+                    tasks crash, exactly as the paper reports (Figure 11).
+``cpu-add``         hot-plug ``count`` CPUs back (capped at the machine).
+``wake-delay``      for ``duration_ns`` after the fault, every futex wake
+                    completion is delayed by an extra ``delay_ns``.
+``wake-drop``       for ``duration_ns``, up to ``max_drops`` futex wake
+                    completions are swallowed; ``redeliver_ns`` (the
+                    *detection window*) re-delivers each one that much
+                    later — set it to ``null`` for a permanent lost wakeup
+                    (the progress invariant then catches the livelock).
+``epoll-spurious``  wake ``count`` epoll waiters with an empty event
+                    batch (the classic spurious-readiness race).
+``bwd-jitter``      shift the BWD monitor's next hrtimer fire by
+                    ``delta_ns`` (monitor ticks racing slice expiry).
+``migration-storm`` forcibly migrate ``moves`` runnable tasks between
+                    random online CPUs, ignoring cache-hotness (but never
+                    pinned or VB-blocked tasks).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import MS, US
+from ..errors import ConfigError
+
+FAULT_KINDS = frozenset(
+    {
+        "cpu-remove",
+        "cpu-add",
+        "wake-delay",
+        "wake-drop",
+        "epoll-spurious",
+        "bwd-jitter",
+        "migration-storm",
+    }
+)
+
+PLAN_VERSION = 1
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault applied at a simulated-time point."""
+
+    at_ns: int
+    kind: str
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.at_ns < 0:
+            raise ConfigError(f"fault at_ns must be >= 0 (got {self.at_ns})")
+        if self.kind not in FAULT_KINDS:
+            raise ConfigError(
+                f"unknown fault kind {self.kind!r}; "
+                f"expected one of {sorted(FAULT_KINDS)}"
+            )
+
+    def to_json(self) -> dict:
+        return {"at_ns": self.at_ns, "kind": self.kind, "params": self.params}
+
+    @classmethod
+    def from_json(cls, d: dict) -> "FaultEvent":
+        return cls(
+            at_ns=int(d["at_ns"]),
+            kind=str(d["kind"]),
+            params=dict(d.get("params") or {}),
+        )
+
+
+@dataclass(frozen=True)
+class InjectionPlan:
+    """A seeded, serializable schedule of faults plus checker knobs.
+
+    ``seed`` feeds the controller's dedicated RNG substream (random picks
+    inside faults, e.g. which epoll gets a spurious wake); it is independent
+    of the workload seed, so adding chaos never perturbs workload RNG.
+    """
+
+    seed: int = 0
+    events: tuple[FaultEvent, ...] = ()
+    check_invariants: bool = True
+    check_interval_events: int = 64
+    progress_horizon_ns: int | None = None  # None -> checker default
+    trace_tail: int = 64
+
+    def __post_init__(self) -> None:
+        if self.check_interval_events < 1:
+            raise ConfigError("check_interval_events must be >= 1")
+        if self.trace_tail < 1:
+            raise ConfigError("trace_tail must be >= 1")
+
+    def to_json(self) -> dict:
+        return {
+            "version": PLAN_VERSION,
+            "seed": self.seed,
+            "check_invariants": self.check_invariants,
+            "check_interval_events": self.check_interval_events,
+            "progress_horizon_ns": self.progress_horizon_ns,
+            "trace_tail": self.trace_tail,
+            "events": [e.to_json() for e in self.events],
+        }
+
+    @classmethod
+    def from_json(cls, d: dict) -> "InjectionPlan":
+        version = int(d.get("version", PLAN_VERSION))
+        if version > PLAN_VERSION:
+            raise ConfigError(
+                f"injection plan version {version} is newer than "
+                f"supported version {PLAN_VERSION}"
+            )
+        horizon = d.get("progress_horizon_ns")
+        return cls(
+            seed=int(d.get("seed", 0)),
+            events=tuple(FaultEvent.from_json(e) for e in d.get("events", [])),
+            check_invariants=bool(d.get("check_invariants", True)),
+            check_interval_events=int(d.get("check_interval_events", 64)),
+            progress_horizon_ns=None if horizon is None else int(horizon),
+            trace_tail=int(d.get("trace_tail", 64)),
+        )
+
+    def save(self, path: str) -> None:
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as f:
+            json.dump(self.to_json(), f, sort_keys=True, indent=2)
+            f.write("\n")
+        os.replace(tmp, path)
+
+    @classmethod
+    def load(cls, path: str) -> "InjectionPlan":
+        with open(path, "r", encoding="utf-8") as f:
+            return cls.from_json(json.load(f))
+
+
+# Relative weights of each kind in random plans: elasticity (the paper's
+# headline scenario) dominates, wake perturbation second.
+_RANDOM_KINDS = (
+    ("cpu-remove", 4),
+    ("wake-delay", 3),
+    ("wake-drop", 3),
+    ("epoll-spurious", 2),
+    ("bwd-jitter", 2),
+    ("migration-storm", 3),
+)
+
+_INTENSITY_COUNTS = {"light": 4, "medium": 10, "heavy": 24}
+
+
+def random_plan(
+    seed: int,
+    duration_ns: int = 200 * MS,
+    intensity: str = "medium",
+    max_remove: int = 2,
+) -> InjectionPlan:
+    """Generate a deterministic plan of ``intensity`` spread over
+    ``[duration_ns/20, duration_ns]`` of simulated time.
+
+    Every ``cpu-remove`` is paired with a later ``cpu-add`` of the same
+    count, so the plan is CPU-neutral and the workload can always finish.
+    ``wake-drop`` faults always carry a redelivery window for the same
+    reason; build a plan by hand to model a permanent lost wakeup.
+    """
+    if intensity not in _INTENSITY_COUNTS:
+        raise ConfigError(
+            f"intensity must be one of {sorted(_INTENSITY_COUNTS)}"
+        )
+    if duration_ns <= 0:
+        raise ConfigError("duration_ns must be positive")
+    rng = np.random.default_rng(
+        np.random.SeedSequence([int(seed) & 0xFFFFFFFF, 0xC7A05])
+    )
+    kinds = [k for k, w in _RANDOM_KINDS for _ in range(w)]
+    lo, hi = duration_ns // 20, duration_ns
+    events: list[FaultEvent] = []
+    for _ in range(_INTENSITY_COUNTS[intensity]):
+        at = int(rng.integers(lo, hi))
+        kind = kinds[int(rng.integers(0, len(kinds)))]
+        if kind == "cpu-remove":
+            count = int(rng.integers(1, max_remove + 1))
+            events.append(FaultEvent(at, "cpu-remove", {"count": count}))
+            # Restore after 5-25% of the horizon.
+            back = at + int(rng.integers(duration_ns // 20, duration_ns // 4))
+            events.append(FaultEvent(back, "cpu-add", {"count": count}))
+        elif kind == "wake-delay":
+            events.append(
+                FaultEvent(
+                    at,
+                    "wake-delay",
+                    {
+                        "duration_ns": int(rng.integers(1 * MS, 5 * MS)),
+                        "delay_ns": int(rng.integers(50 * US, 500 * US)),
+                    },
+                )
+            )
+        elif kind == "wake-drop":
+            events.append(
+                FaultEvent(
+                    at,
+                    "wake-drop",
+                    {
+                        "duration_ns": int(rng.integers(1 * MS, 3 * MS)),
+                        "max_drops": int(rng.integers(1, 5)),
+                        "redeliver_ns": int(rng.integers(200 * US, 2 * MS)),
+                    },
+                )
+            )
+        elif kind == "epoll-spurious":
+            events.append(
+                FaultEvent(
+                    at, "epoll-spurious", {"count": int(rng.integers(1, 4))}
+                )
+            )
+        elif kind == "bwd-jitter":
+            delta = int(rng.integers(-80 * US, 80 * US))
+            events.append(FaultEvent(at, "bwd-jitter", {"delta_ns": delta}))
+        else:
+            events.append(
+                FaultEvent(
+                    at,
+                    "migration-storm",
+                    {"moves": int(rng.integers(4, 17))},
+                )
+            )
+    events.sort(key=lambda e: e.at_ns)
+    return InjectionPlan(seed=seed, events=tuple(events))

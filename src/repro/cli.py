@@ -454,6 +454,99 @@ def cmd_analyze(args) -> int:
     return analyze_file(args.trace, bins=args.bins)
 
 
+def _chaos_workload(args) -> dict:
+    from .runners.parallel import optimized_desc, vanilla_desc
+
+    desc = (optimized_desc(args.cores, args.seed) if args.optimized
+            else vanilla_desc(args.cores, args.seed))
+    return {
+        "runner": "suite_point",
+        "params": {"name": args.benchmark, "nthreads": args.threads,
+                   "config": desc, "work_scale": args.scale},
+        "seed": args.seed,
+    }
+
+
+def _print_chaos_outcome(out) -> None:
+    active = {k: v for k, v in out.stats.items() if v}
+    print(f"faults applied: {out.stats.get('faults_applied', 0)}, "
+          f"invariant checks: {out.invariant_checks}")
+    if active:
+        print("  " + ", ".join(f"{k}={v}" for k, v in sorted(active.items())))
+    if out.violation is None:
+        print(f"clean run (result sha256 {out.result_sha256[:16]}...)")
+    else:
+        v = out.violation
+        print(f"FAILURE [{v.get('invariant')}]: {v.get('message')}")
+
+
+def cmd_chaos_run(args) -> int:
+    import dataclasses as dc
+
+    from .chaos import InjectionPlan, make_bundle, random_plan, run_chaos_spec
+
+    if args.plan:
+        plan = InjectionPlan.load(args.plan)
+    else:
+        plan = random_plan(
+            args.chaos_seed,
+            duration_ns=int(args.duration_ms * 1e6),
+            intensity=args.intensity,
+        )
+    if args.no_invariants:
+        plan = dc.replace(plan, check_invariants=False)
+    if args.horizon_ms is not None:
+        plan = dc.replace(
+            plan, progress_horizon_ns=int(args.horizon_ms * 1e6)
+        )
+    workload = _chaos_workload(args)
+    print(f"chaos run: {args.benchmark} x{args.threads} on {args.cores} "
+          f"cores, {len(plan.events)} fault(s), chaos seed {plan.seed}")
+    out = run_chaos_spec(workload, plan)
+    _print_chaos_outcome(out)
+    if args.bundle or not out.ok:
+        path = args.bundle or "chaos-bundle.json"
+        make_bundle(workload, plan, out).save(path)
+        print(f"replay bundle -> {path}"
+              + ("" if out.ok else f"  (repro: repro chaos replay {path})"))
+    return 0 if out.ok else 3
+
+
+def cmd_chaos_replay(args) -> int:
+    from .chaos import ReplayBundle, replay_bundle
+
+    bundle = ReplayBundle.load(args.bundle)
+    want = (bundle.violation or {}).get("invariant", "clean")
+    print(f"replaying {args.bundle}: recorded outcome {want!r}, "
+          f"{len(bundle.plan.get('events', []))} fault(s)")
+    outcome, reproduced, diffs = replay_bundle(bundle)
+    _print_chaos_outcome(outcome)
+    if reproduced:
+        print("outcome REPRODUCED deterministically")
+        return 0
+    print("outcome NOT reproduced:")
+    for d in diffs:
+        print(f"  {d}")
+    return 1
+
+
+def cmd_chaos_plan(args) -> int:
+    from .chaos import random_plan
+
+    plan = random_plan(
+        args.chaos_seed,
+        duration_ns=int(args.duration_ms * 1e6),
+        intensity=args.intensity,
+    )
+    plan.save(args.out)
+    print(format_table(
+        ["t (ms)", "fault", "params"],
+        [[e.at_ns / 1e6, e.kind, str(e.params)] for e in plan.events],
+        title=f"injection plan -> {args.out}", float_fmt="{:.2f}",
+    ))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     ap = argparse.ArgumentParser(
         prog="repro",
@@ -584,6 +677,57 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bins", type=int, default=64,
                    help="width of the utilization timeline (default 64)")
     p.set_defaults(fn=cmd_analyze)
+
+    p = sub.add_parser(
+        "chaos",
+        help="fault injection + invariant checking (run / replay / plan)",
+    )
+    csub = p.add_subparsers(dest="chaos_command", required=True)
+
+    def _chaos_plan_flags(cp) -> None:
+        cp.add_argument("--chaos-seed", type=int, default=0,
+                        help="seed for the generated injection plan")
+        cp.add_argument("--intensity", default="medium",
+                        choices=["light", "medium", "heavy"])
+        cp.add_argument("--duration-ms", type=float, default=50.0,
+                        help="simulated-time horizon faults are spread over")
+
+    cp = csub.add_parser(
+        "run", help="run one benchmark under an injection plan with "
+                    "invariant checking; exit 3 on a violation",
+    )
+    cp.add_argument("--benchmark", default="fluidanimate",
+                    choices=sorted(SUITE))
+    cp.add_argument("--threads", type=int, default=32)
+    cp.add_argument("--cores", type=int, default=8)
+    cp.add_argument("--optimized", action="store_true")
+    cp.add_argument("--plan", default=None, metavar="FILE",
+                    help="load the injection plan from FILE instead of "
+                         "generating one")
+    _chaos_plan_flags(cp)
+    cp.add_argument("--bundle", default=None, metavar="FILE",
+                    help="always write a replay bundle here (on a "
+                         "violation one is written regardless, default "
+                         "chaos-bundle.json)")
+    cp.add_argument("--no-invariants", action="store_true",
+                    help="inject faults without the invariant checker")
+    cp.add_argument("--horizon-ms", type=float, default=None,
+                    help="no-progress horizon for the progress invariant")
+    _add_scale(p=cp, default=0.2)
+    _add_seed(cp)
+    cp.set_defaults(fn=cmd_chaos_run)
+
+    cp = csub.add_parser(
+        "replay", help="re-run a replay bundle and verify the recorded "
+                       "outcome reproduces; exit 1 if it does not",
+    )
+    cp.add_argument("bundle", help="path to a replay bundle JSON file")
+    cp.set_defaults(fn=cmd_chaos_replay)
+
+    cp = csub.add_parser("plan", help="generate a seeded injection plan")
+    _chaos_plan_flags(cp)
+    cp.add_argument("--out", default="chaos-plan.json", metavar="FILE")
+    cp.set_defaults(fn=cmd_chaos_plan)
 
     return ap
 

@@ -228,6 +228,10 @@ class SimConfig:
     mode: ExecMode = ExecMode.CONTAINER
     online_cpus: int | None = None  # None = all CPUs in the topology
     seed: int = 2021
+    # Run the kernel invariant checker (repro.chaos.invariants) after
+    # engine events.  Read-only: enabling it never changes results, only
+    # adds checking cost.  Also switchable via REPRO_CHECK_INVARIANTS=1.
+    check_invariants: bool = False
 
     def __post_init__(self) -> None:
         if self.online_cpus is not None and self.online_cpus < 1:

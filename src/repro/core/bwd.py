@@ -104,6 +104,14 @@ class BwdMonitor:
             self._timer.cancel()
             self._timer = None
 
+    def nudge_timer(self, delta_ns: int) -> bool:
+        """Shift the monitor's next tick by ``delta_ns`` (chaos harness:
+        hrtimer jitter racing slice expiry).  Returns False when no timer
+        is armed."""
+        if self._timer is None:
+            return False
+        return self._timer.nudge(delta_ns)
+
     # ------------------------------------------------------------------
     def _classify(self, task: "Task", window_start: int) -> WindowKind:
         if task.mode is RunMode.SPIN:

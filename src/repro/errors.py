@@ -27,6 +27,40 @@ class DeadlockError(SimulationError):
         self.blocked_tasks = blocked_tasks
 
 
+class InvariantViolation(SimulationError):
+    """A kernel invariant check failed (see ``repro.chaos.invariants``).
+
+    Carries enough structure to build a replay bundle: which invariant
+    tripped, the simulated time and global event index at the failure
+    point, and free-form details describing the offending state.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        invariant: str = "",
+        time_ns: int = 0,
+        events_run: int = 0,
+        details: dict | None = None,
+    ):
+        super().__init__(message)
+        self.invariant = invariant
+        self.time_ns = time_ns
+        self.events_run = events_run
+        self.details = details or {}
+
+
+class SoftTimeoutError(ReproError, TimeoutError):
+    """A wall-clock soft deadline expired while the engine was running.
+
+    Raised by the event loop's deadline poll (``Engine.run``) as the
+    portable fallback for platforms/threads without ``signal.SIGALRM``.
+    Subclasses :class:`TimeoutError` so generic timeout handling catches
+    it.
+    """
+
+
 class ProgramError(ReproError):
     """A simulated thread program yielded an invalid action."""
 

@@ -16,13 +16,22 @@ from typing import Any
 class EpollInstance:
     """A simulated epoll file descriptor set."""
 
-    __slots__ = ("name", "pending", "events_posted", "events_delivered")
+    __slots__ = (
+        "name",
+        "pending",
+        "events_posted",
+        "events_delivered",
+        "spurious",
+    )
 
     def __init__(self, name: str = "epoll"):
         self.name = name
         self.pending: deque[Any] = deque()
         self.events_posted = 0
         self.events_delivered = 0
+        # Spurious wakeups injected by the chaos harness: the waiter is
+        # woken with an empty batch and must loop back into epoll_wait.
+        self.spurious = 0
 
     def post(self, payload: Any) -> None:
         self.pending.append(payload)

@@ -48,6 +48,18 @@ class HrTimer:
         if self._active:
             self._arm()
 
+    def nudge(self, delta_ns: int) -> bool:
+        """Shift the next fire by ``delta_ns`` (may be negative, clamped to
+        now).  Subsequent periods are unaffected.  Returns False when the
+        timer is not armed.  Used by the chaos harness to model hrtimer
+        jitter racing the scheduler."""
+        if not self._active or self._handle is None:
+            return False
+        target = max(self.engine.now, self._handle.time + delta_ns)
+        self._handle.cancel()
+        self._handle = self.engine.schedule_at(target, self._fire)
+        return True
+
     def cancel(self) -> None:
         self._active = False
         if self._handle is not None:

@@ -27,6 +27,7 @@ Blocking follows the paper's two paths:
 from __future__ import annotations
 
 import math
+import os
 from typing import Any, Generator
 
 from ..config import ExecMode, SimConfig
@@ -183,6 +184,54 @@ class Kernel:
             name="balance",
         )
         self._balance_timer.start()
+
+        # Chaos harness (lazy import: repro.chaos pulls in the runner
+        # registry for replay bundles).  A chaos_session() block installs a
+        # controller on every kernel built inside it; the invariant checker
+        # can also run standalone via config or environment.
+        self.epolls: dict[int, "EpollInstance"] = {}
+        self._chaos = None
+        self.invariants = None
+        from ..chaos import current_chaos
+
+        chaos = current_chaos()
+        check = config.check_invariants or (
+            os.environ.get("REPRO_CHECK_INVARIANTS", "") not in ("", "0")
+        )
+        interval = None
+        horizon = None
+        if chaos is not None:
+            plan = chaos.plan
+            if not self.trace.enabled:
+                # Replay bundles carry a trace tail; keep a small ring even
+                # when no observability session is active.
+                self.trace = TraceRecorder(
+                    enabled=True, capacity=max(plan.trace_tail, 4) * 4
+                )
+            from ..chaos.controller import ChaosController
+
+            self._chaos = ChaosController(self, plan)
+            chaos.controllers.append(self._chaos)
+            self._chaos.install()
+            if plan.check_invariants:
+                check = True
+            interval = plan.check_interval_events
+            horizon = plan.progress_horizon_ns
+        if check:
+            from ..chaos.invariants import (
+                DEFAULT_INTERVAL,
+                DEFAULT_PROGRESS_HORIZON_NS,
+                InvariantChecker,
+            )
+
+            self.invariants = InvariantChecker(
+                self,
+                interval=DEFAULT_INTERVAL if interval is None else interval,
+                progress_horizon_ns=(
+                    DEFAULT_PROGRESS_HORIZON_NS if horizon is None else horizon
+                ),
+            )
+            self.engine.on_event = self.invariants.on_event
 
         # Last: the sampler reads cpus/tasks, which must all exist.
         if self._obs_session is not None:
@@ -724,6 +773,7 @@ class Kernel:
 
     def _act_epoll_wait(self, cpu: CpuState, task: Task, action) -> None:
         ep: EpollInstance = action.epoll
+        self.epolls.setdefault(id(ep), ep)
         if len(ep):
             task.pending_result = ep.take(action.max_events)
             task.action_remaining = self.config.futex.syscall_entry_ns
@@ -974,6 +1024,11 @@ class Kernel:
         )
         total = fc.syscall_entry_ns if waker is not None else 0
         engine = self.engine
+        # Chaos interception point: an installed controller may delay or
+        # drop individual wake completions (fault model "wake-delay" /
+        # "wake-drop"); without one this is engine.schedule_at verbatim.
+        chaos = self._chaos
+        sched_wake = engine.schedule_at if chaos is None else chaos.schedule_wake
         t = engine.now + total
         woken = 0
         sync_wake = n == 1
@@ -989,7 +1044,7 @@ class Kernel:
                 c = vbc.wake_cost_ns
                 t += c
                 total += c
-                engine.schedule_at(t, self._finish_wake_vb, w)
+                sched_wake(t, self._finish_wake_vb, w)
                 self.vb_policy.stats.vb_wakes += 1
             elif w.block_kind == "vb":
                 c = select_cost
@@ -1000,7 +1055,7 @@ class Kernel:
                 c += fc.enqueue_ns
                 t += c
                 total += c
-                engine.schedule_at(t, self._finish_wake_vb_placed, w)
+                sched_wake(t, self._finish_wake_vb_placed, w)
                 self.vb_policy.stats.vb_placed_wakes += 1
             else:
                 c = bucket.lock.acquire(t, fc.bucket_lock_hold_ns)
@@ -1016,7 +1071,7 @@ class Kernel:
                 c += fc.enqueue_ns
                 t += c
                 total += c
-                engine.schedule_at(t, self._finish_wake_vanilla, w)
+                sched_wake(t, self._finish_wake_vanilla, w)
                 self.vb_policy.stats.vanilla_wakes += 1
             woken += 1
         if waker is None and woken:
@@ -1465,6 +1520,7 @@ class Kernel:
     # ==================================================================
     def epoll_post(self, ep: EpollInstance, payload: Any) -> None:
         """Deliver an event (interrupt context, e.g. network RX)."""
+        self.epolls.setdefault(id(ep), ep)
         if self.futex_table.waiter_count(ep) > 0:
             self.futex_wake(None, ep, 1, result=[payload])
             ep.events_posted += 1

@@ -74,6 +74,12 @@ class CfsRunqueue:
             n += 1
         return n
 
+    def recount_blocked(self) -> int:
+        """From-scratch count of sentinel-keyed entries — the ground truth
+        behind the incremental ``nr_blocked`` counter.  O(n); used by the
+        invariant checker and tests, never by the scheduler hot path."""
+        return sum(1 for key in self.tree.keys() if key[0] >= VB_SENTINEL)
+
     # ------------------------------------------------------------------
     # Enqueue / dequeue
     # ------------------------------------------------------------------

@@ -146,6 +146,13 @@ def render_analysis(
         title="event counts",
     ), file=out)
 
+    # Chaos-harness injections land in the trace as chaos-* events; call
+    # them out so a perturbed trace is never mistaken for a clean one.
+    chaos_total = sum(v for k, v in counts.items() if k.startswith("chaos-"))
+    if chaos_total:
+        print(f"chaos: {chaos_total} injected fault event(s) in this trace "
+              "— timings include deliberate perturbation", file=out)
+
     rec = recorder_from(events)
     lat_rows = []
     lats = wakeup_latencies(events)

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from dataclasses import dataclass
@@ -733,6 +734,12 @@ def add_report_flags(ap: argparse.ArgumentParser) -> None:
     ap.add_argument("--seed", type=int, default=2021)
     ap.add_argument("--timeout", type=float, default=DEFAULT_TIMEOUT_S,
                     metavar="SECONDS", help="per-experiment timeout")
+    ap.add_argument("--max-retries", type=int, default=1, metavar="N",
+                    help="retries per failing spec before giving up on it "
+                         "(deterministic exponential backoff; default 1)")
+    ap.add_argument("--strict", action="store_true",
+                    help="exit nonzero if any spec failed after retries "
+                         "(default: keep going and report partial results)")
     ap.add_argument("--trace-dir", default=None, metavar="DIR",
                     help="ship one JSONL scheduling trace per spec into DIR "
                          "(disables cache reads so every trace is fresh)")
@@ -750,12 +757,21 @@ def run_full_report(
     cache_dir: str = DEFAULT_CACHE_DIR,
     results_path: str | None = "results.json",
     timeout_s: float | None = DEFAULT_TIMEOUT_S,
+    retries: int = 1,
+    strict: bool = False,
     out: TextIO | None = None,
     progress_out: TextIO | None = None,
     trace_dir: str | None = None,
     sample_interval_us: float | None = None,
 ) -> int:
-    """Regenerate every table and figure via the parallel runner."""
+    """Regenerate every table and figure via the parallel runner.
+
+    Failing specs (after ``retries`` attempts each, with deterministic
+    exponential backoff) do not abort the report: their sections render a
+    failure note, everything else renders normally, and the run summary
+    classifies each failure (timeout/crash/exception).  ``strict=True``
+    turns any such partial result into a nonzero exit (2) — for CI — after
+    still rendering everything that succeeded."""
     out = out if out is not None else sys.stdout
     progress_out = progress_out if progress_out is not None else sys.stderr
     t0 = time.time()
@@ -789,23 +805,44 @@ def run_full_report(
         else:
             print(line, file=progress_out, flush=True)
 
+    # The runner itself always keeps going (strict=False): even under
+    # --strict we want every surviving section rendered before the
+    # nonzero exit, not an abort at the first exhausted spec.
     runner = ParallelRunner(
         jobs=jobs, cache_dir=cache_dir, use_cache=use_cache,
-        timeout_s=timeout_s, progress=progress,
+        timeout_s=timeout_s, retries=retries, strict=False,
+        progress=progress,
         trace_dir=trace_dir, sample_interval_us=sample_interval_us,
     )
     values = runner.run(specs)
     if is_tty:
         print(file=progress_out, flush=True)  # finish the progress line
     res = {spec.id: value for spec, value in zip(specs, values)}
+    st = runner.stats
 
-    for section, _ in sections:
+    for section, sec_specs in sections:
         banner(section.title, out)
+        missing = [s.id for s in sec_specs if res.get(s.id) is None]
+        if missing:
+            # Renderers index into complete result sets; with holes the
+            # honest output is the failure note, not a half-table.
+            print(f"[section skipped: {len(missing)} of {len(sec_specs)} "
+                  f"spec(s) failed — {', '.join(missing[:4])}"
+                  f"{', ...' if len(missing) > 4 else ''}]", file=out)
+            continue
         section.render(params, res, out)
 
-    st = runner.stats
     print(f"\nspecs: {st.total} total, {st.executed} simulated, "
-          f"{st.cache_hits} cache hits, {st.retried} retried", file=out)
+          f"{st.cache_hits} cache hits, {st.retried} retried, "
+          f"{st.failed} failed, {st.quarantined} cache entries quarantined",
+          file=out)
+    if st.failures:
+        print(format_table(
+            ["spec", "failure", "error"],
+            [[sid, f["kind"], f["error"][:60]]
+             for sid, f in sorted(st.failures.items())],
+            title="failed specs",
+        ), file=out)
     print(f"total wall time: {time.time() - t0:.1f}s", file=out)
 
     if results_path and results_path != "none":
@@ -817,15 +854,28 @@ def run_full_report(
             "jobs": runner.jobs,
             "elapsed_s": time.time() - t0,
             "cache": {"hits": st.cache_hits, "simulated": st.executed,
-                      "retried": st.retried},
+                      "retried": st.retried, "failed": st.failed,
+                      "quarantined": st.quarantined},
+            "failures": st.failures,
             "results": [
-                {**spec.payload(), "result": value}
+                {**spec.payload(), "result": value,
+                 **({"error": st.failures[spec.id]}
+                    if spec.id in st.failures else {})}
                 for spec, value in zip(specs, values)
             ],
         }
-        with open(results_path, "w", encoding="utf-8") as f:
+        # Atomic replace: a crash (or a reader racing the writer) must
+        # never leave a truncated results.json behind.
+        tmp = f"{results_path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as f:
             json.dump(artifact, f, indent=1, sort_keys=True)
+        os.replace(tmp, results_path)
         print(f"results written to {results_path}", file=progress_out)
+    if st.failed:
+        print(f"warning: {st.failed} spec(s) failed; results are partial",
+              file=progress_out)
+        if strict:
+            return 2
     return 0
 
 
@@ -839,6 +889,8 @@ def main_from_args(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         results_path=args.results,
         timeout_s=args.timeout,
+        retries=getattr(args, "max_retries", 1),
+        strict=getattr(args, "strict", False),
         trace_dir=getattr(args, "trace_dir", None),
         sample_interval_us=getattr(args, "sample_interval_us", None),
     )

@@ -34,6 +34,7 @@ import os
 import signal
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -62,6 +63,14 @@ from ..workloads.synthetic import run_suite_benchmark
 
 DEFAULT_CACHE_DIR = ".repro-cache"
 DEFAULT_TIMEOUT_S = 900.0
+
+#: Cache entry layout version.  Bump when the entry dict changes shape;
+#: mismatched entries are quarantined, not crashed on.  v2 added the
+#: ``schema`` and ``sha256`` integrity fields.
+CACHE_SCHEMA = 2
+
+#: Quarantine subdirectory (under the cache dir) for corrupt entries.
+QUARANTINE_DIR = "quarantine"
 
 
 class ExperimentError(ReproError):
@@ -251,6 +260,24 @@ def debug_crash_once(marker_path: str) -> dict:  # for crash-retry tests
     os._exit(17)
 
 
+def debug_spin_sim(max_events: int = 0) -> dict:  # for soft-deadline tests
+    """An engine whose every event schedules the next: with
+    ``max_events=0`` it never terminates on its own, so the only way out
+    is the engine's soft deadline — the portable fallback for platforms
+    without ``SIGALRM`` (see ``repro.sim.engine.set_soft_deadline``)."""
+    from ..sim.engine import Engine
+
+    eng = Engine()
+
+    def tick() -> None:
+        if not max_events or eng.events_run < max_events:
+            eng.schedule(1_000, tick)
+
+    eng.schedule(1_000, tick)
+    eng.run()
+    return {"events": eng.events_run}
+
+
 RUNNERS: dict[str, Callable[..., dict]] = {
     "suite_point": run_suite_point,
     "direct_cost": run_direct_cost,
@@ -263,6 +290,7 @@ RUNNERS: dict[str, Callable[..., dict]] = {
     "table3_fp": run_table3_fp,
     "debug_sleep": debug_sleep,
     "debug_crash_once": debug_crash_once,
+    "debug_spin_sim": debug_spin_sim,
 }
 
 
@@ -295,6 +323,17 @@ def canonical_json(value: Any) -> str:
                       allow_nan=False)
 
 
+def _entry_checksum(entry: dict) -> str:
+    """SHA-256 over a cache entry minus its own ``sha256`` field.
+
+    Unlike :func:`canonical_json` this tolerates NaN/Infinity — results may
+    legitimately contain them, and the encoding (``NaN`` tokens) survives a
+    JSON round-trip, so store-time and load-time checksums agree."""
+    body = {k: v for k, v in entry.items() if k != "sha256"}
+    blob = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
 def cache_key(spec: ExperimentSpec, version: str | None = None) -> str:
     """SHA-256 over (canonical params, runner, seed, repro version)."""
     blob = canonical_json({
@@ -308,6 +347,17 @@ def cache_key(spec: ExperimentSpec, version: str | None = None) -> str:
 
 def _alarm_handler(_signum, _frame):  # pragma: no cover - fires in workers
     raise TimeoutError("spec exceeded its timeout")
+
+
+def classify_failure(exc: BaseException) -> str:
+    """Coarse failure taxonomy for run summaries: ``timeout`` (SIGALRM or
+    the engine's soft deadline), ``crash`` (the worker process died), or
+    ``exception`` (the runner raised)."""
+    if isinstance(exc, TimeoutError):
+        return "timeout"
+    if isinstance(exc, BrokenProcessPool):
+        return "crash"
+    return "exception"
 
 
 # Per-runner cost hints: coarse, unitless proxies for a spec's wall time,
@@ -373,26 +423,39 @@ def execute_spec(payload: dict, timeout_s: float | None,
                  obs: dict | None = None) -> dict:
     """Worker entry point: run one spec with an in-process timeout.
 
-    The timeout is enforced with ``SIGALRM`` inside the worker (POSIX), so
-    a hung simulation interrupts itself and the pool stays alive instead of
-    needing to be torn down.
+    The timeout is enforced two ways, both inside the worker so the pool
+    stays alive instead of needing to be torn down:
+
+    * ``SIGALRM`` (POSIX): interrupts *any* hung code, including non-engine
+      loops — but ``signal.SIGALRM``/``setitimer`` do not exist on every
+      platform (notably Windows), where this silently arms nothing.
+    * the engine's *soft deadline* (``repro.sim.engine.set_soft_deadline``):
+      the event loop polls the wall clock every 1024 events and raises
+      ``SoftTimeoutError`` (a ``TimeoutError``) past the deadline.  Portable
+      everywhere, covers every simulation (all runner time is engine time),
+      and is the only timeout on SIGALRM-less platforms — previously those
+      ran unbounded.
 
     ``obs`` (keys ``trace_dir``, ``sample_interval_us``, ``capacity``)
     wraps the run in an ``observe()`` session and ships the trace as
     ``<trace_dir>/<id with '/' -> '__'>.jsonl``.
     """
+    from ..sim.engine import clear_soft_deadline, set_soft_deadline
+
     fn = RUNNERS.get(payload["runner"])
     if fn is None:
         raise ExperimentError(f"unknown runner {payload['runner']!r}")
+    timed = timeout_s is not None and timeout_s > 0
     use_alarm = (
-        timeout_s is not None
-        and timeout_s > 0
+        timed
         and hasattr(signal, "SIGALRM")
         and hasattr(signal, "setitimer")
     )
     if use_alarm:
         old = signal.signal(signal.SIGALRM, _alarm_handler)
         signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    if timed:
+        set_soft_deadline(timeout_s)
     try:
         if not obs:
             return fn(**payload["params"])
@@ -414,6 +477,8 @@ def execute_spec(payload: dict, timeout_s: float | None,
             )
         return result
     finally:
+        if timed:
+            clear_soft_deadline()
         if use_alarm:
             signal.setitimer(signal.ITIMER_REAL, 0.0)
             signal.signal(signal.SIGALRM, old)
@@ -429,8 +494,12 @@ class RunnerStats:
     cache_hits: int = 0
     executed: int = 0
     retried: int = 0
+    failed: int = 0  # specs abandoned after retries (keep-going mode)
+    quarantined: int = 0  # corrupt cache entries moved aside
     started_at: float = 0.0
     phase: str = ""  # spec-id prefix of the last completed spec ("fig09")
+    # spec id -> {"kind": timeout|crash|exception, "error": repr(exc)}
+    failures: dict = field(default_factory=dict)
 
     @property
     def elapsed_s(self) -> float:
@@ -460,6 +529,8 @@ class ParallelRunner:
         use_cache: bool = True,
         timeout_s: float | None = DEFAULT_TIMEOUT_S,
         retries: int = 1,
+        strict: bool = True,
+        backoff_base_s: float = 0.25,
         progress: Callable[[RunnerStats], None] | None = None,
         version: str | None = None,
         trace_dir: str | os.PathLike | None = None,
@@ -471,6 +542,13 @@ class ParallelRunner:
         self.use_cache = use_cache and self.cache_dir is not None
         self.timeout_s = timeout_s
         self.retries = retries
+        # strict=True: any spec still failing after retries raises
+        # ExperimentError.  strict=False: the failure is recorded in
+        # ``stats.failures`` (classified timeout/crash/exception), its
+        # result slot stays None, and the run keeps going — partial
+        # results beat none on a 45-minute report run.
+        self.strict = strict
+        self.backoff_base_s = backoff_base_s
         self.progress = progress
         self.version = version if version is not None else __version__
         self.trace_dir = str(trace_dir) if trace_dir is not None else None
@@ -490,6 +568,19 @@ class ParallelRunner:
         assert self.cache_dir is not None
         return os.path.join(self.cache_dir, cache_key(spec, self.version) + ".json")
 
+    def _quarantine(self, path: str, reason: str) -> None:
+        """Move a bad cache entry to ``<cache_dir>/quarantine/`` — kept as
+        evidence, never deleted — and treat the load as a plain miss (the
+        spec recomputes).  A corrupt cache must cost a re-run, not a crash
+        and never a silently-wrong figure."""
+        self.stats.quarantined += 1
+        qdir = os.path.join(os.path.dirname(path) or ".", QUARANTINE_DIR)
+        try:
+            os.makedirs(qdir, exist_ok=True)
+            os.replace(path, os.path.join(qdir, os.path.basename(path)))
+        except OSError:
+            pass  # racing runner already moved it; either way it is gone
+
     def cache_load(self, spec: ExperimentSpec) -> Any | None:
         if not self.use_cache:
             return None
@@ -498,12 +589,36 @@ class ParallelRunner:
             # bit-identical anyway) so every spec gets its artifact and the
             # trace bytes match the cold-cache run.
             return None
+        path = self._cache_path(spec)
         try:
-            with open(self._cache_path(spec), "r", encoding="utf-8") as f:
+            with open(path, "r", encoding="utf-8") as f:
                 entry = json.load(f)
-        except (OSError, ValueError):
+        except OSError:
+            return None  # plain miss: no file (or unreadable)
+        except ValueError:
+            self._quarantine(path, "unparseable JSON")
             return None
-        return entry.get("result") if isinstance(entry, dict) else None
+        # Validate before trusting: entries are read across versions and
+        # may be truncated, hand-edited, or from a different layout.
+        if not isinstance(entry, dict):
+            self._quarantine(path, "not a JSON object")
+            return None
+        if entry.get("schema") != CACHE_SCHEMA:
+            self._quarantine(
+                path, f"schema {entry.get('schema')!r} != {CACHE_SCHEMA}"
+            )
+            return None
+        if entry.get("runner") != spec.runner or entry.get("seed") != spec.seed:
+            # A hash collision or a file copied to the wrong key.
+            self._quarantine(path, "entry does not match its spec")
+            return None
+        if "result" not in entry:
+            self._quarantine(path, "missing result")
+            return None
+        if entry.get("sha256") != _entry_checksum(entry):
+            self._quarantine(path, "checksum mismatch")
+            return None
+        return entry["result"]
 
     def cache_store(self, spec: ExperimentSpec, result: Any,
                     wall_s: float | None = None) -> None:
@@ -513,6 +628,7 @@ class ParallelRunner:
         os.makedirs(self.cache_dir, exist_ok=True)
         path = self._cache_path(spec)
         entry = {
+            "schema": CACHE_SCHEMA,
             "id": spec.id,
             "runner": spec.runner,
             "params": spec.params,
@@ -523,6 +639,7 @@ class ParallelRunner:
         if wall_s is not None:
             # Not part of the result: feeds longest-first dispatch only.
             entry["wall_s"] = round(wall_s, 6)
+        entry["sha256"] = _entry_checksum(entry)
         tmp = path + f".tmp.{os.getpid()}"
         with open(tmp, "w", encoding="utf-8") as f:
             json.dump(entry, f, sort_keys=True)
@@ -532,6 +649,24 @@ class ParallelRunner:
     def _tick(self) -> None:
         if self.progress is not None:
             self.progress(self.stats)
+
+    def _backoff_s(self, attempt: int) -> float:
+        """Delay before retry ``attempt`` (1-based): exponential from
+        ``backoff_base_s``, capped at 8 s.  Deliberately jitterless —
+        workers are local processes, not a shared service, and a
+        deterministic schedule keeps run logs comparable."""
+        return min(self.backoff_base_s * (2.0 ** (attempt - 1)), 8.0)
+
+    def _note_failure(self, spec: ExperimentSpec,
+                      exc: BaseException) -> None:
+        """Record a spec abandoned after retries (keep-going mode)."""
+        self.stats.failed += 1
+        self.stats.failures[spec.id] = {
+            "kind": classify_failure(exc),
+            "error": repr(exc),
+        }
+        self.stats.phase = spec.id.split("/", 1)[0]
+        self._tick()
 
     def run(self, specs: list[ExperimentSpec]) -> list[Any]:
         """Execute all specs; returns their results in spec order."""
@@ -603,6 +738,7 @@ class ParallelRunner:
             for attempt in range(self.retries + 1):
                 if attempt:
                     self.stats.retried += 1
+                    time.sleep(self._backoff_s(attempt))
                 try:
                     value, wall_s = execute_spec_timed(
                         specs[i].payload(), self.timeout_s, self._obs()
@@ -614,10 +750,12 @@ class ParallelRunner:
                 last_exc = None
                 break
             if last_exc is not None:
-                raise ExperimentError(
-                    f"spec {specs[i].id} failed after "
-                    f"{self.retries + 1} attempts: {last_exc!r}"
-                ) from last_exc
+                if self.strict:
+                    raise ExperimentError(
+                        f"spec {specs[i].id} failed after "
+                        f"{self.retries + 1} attempts: {last_exc!r}"
+                    ) from last_exc
+                self._note_failure(specs[i], last_exc)
 
     def _run_pool(self, specs, results, pending) -> None:
         todo = list(pending)
@@ -627,6 +765,7 @@ class ParallelRunner:
                 break
             if attempt:
                 self.stats.retried += len(todo)
+                time.sleep(self._backoff_s(attempt))
             failed: list[int] = []
             # A fresh pool per round: a worker crash (e.g. a segfaulting
             # simulation) breaks the whole executor, so survivors of the
@@ -651,10 +790,13 @@ class ParallelRunner:
                     self._record(specs[i], results, i, value, wall_s)
             todo = sorted(failed)
         if todo:
-            detail = "; ".join(
-                f"{specs[i].id}: {failures[i]!r}" for i in todo[:5]
-            )
-            raise ExperimentError(
-                f"{len(todo)} spec(s) failed after {self.retries + 1} "
-                f"attempts: {detail}"
-            )
+            if self.strict:
+                detail = "; ".join(
+                    f"{specs[i].id}: {failures[i]!r}" for i in todo[:5]
+                )
+                raise ExperimentError(
+                    f"{len(todo)} spec(s) failed after {self.retries + 1} "
+                    f"attempts: {detail}"
+                )
+            for i in todo:
+                self._note_failure(specs[i], failures[i])

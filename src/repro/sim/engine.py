@@ -20,9 +20,36 @@ and the run loop's bound checks do not rescan cancelled prefixes.
 from __future__ import annotations
 
 from heapq import heappop, heappush
+from time import monotonic
 from typing import Any, Callable
 
-from ..errors import SimulationError
+from ..errors import SimulationError, SoftTimeoutError
+
+# ---------------------------------------------------------------------------
+# Soft wall-clock deadline (SIGALRM fallback)
+# ---------------------------------------------------------------------------
+# ``signal.SIGALRM``/``setitimer`` do not exist on every platform and never
+# fire in non-main threads, so an in-worker alarm can silently vanish and a
+# spec runs unbounded.  As a portable backstop the run loop polls this
+# module-level deadline every ``_SOFT_DEADLINE_MASK + 1`` events and raises
+# :class:`SoftTimeoutError` once it passes.  The poll only covers simulated
+# work (an engine must be running events); host-level sleeps still need a
+# real alarm.  Process-global by design: one spec runs per worker process.
+
+_SOFT_DEADLINE: float | None = None
+_SOFT_DEADLINE_MASK = 1023  # poll every 1024 events; keeps the hot loop cheap
+
+
+def set_soft_deadline(timeout_s: float) -> None:
+    """Arm a wall-clock deadline ``timeout_s`` seconds from now."""
+    global _SOFT_DEADLINE
+    _SOFT_DEADLINE = monotonic() + timeout_s
+
+
+def clear_soft_deadline() -> None:
+    """Disarm the soft deadline (idempotent)."""
+    global _SOFT_DEADLINE
+    _SOFT_DEADLINE = None
 
 
 class EventHandle:
@@ -83,6 +110,7 @@ class Engine:
         "_events_run",
         "_live",
         "_next_time",
+        "on_event",
     )
 
     def __init__(self) -> None:
@@ -97,6 +125,9 @@ class Engine:
         self._events_run = 0
         self._live = 0
         self._next_time: int | None = None  # cached next-live-event time
+        # Post-event hook: called (no args) after each fired event.  Used
+        # by the chaos invariant checker; must be installed before run().
+        self.on_event: Callable[[], None] | None = None
 
     @property
     def events_run(self) -> int:
@@ -108,6 +139,23 @@ class Engine:
         a live counter maintained on schedule/cancel/fire, so kernels that
         poll it do not go quadratic in long runs)."""
         return self._live
+
+    def recount_live(self) -> int:
+        """From-scratch count of not-yet-cancelled queued events.
+
+        O(queue) — used by the invariant checker to cross-check the O(1)
+        ``pending`` counter; never called on the hot path.
+        """
+        n = sum(
+            1
+            for bucket in self._buckets.values()
+            for h in bucket
+            if not h.cancelled
+        )
+        head = self._head
+        if head is not None:
+            n += sum(1 for h in head[self._head_idx :] if not h.cancelled)
+        return n
 
     def schedule_at(self, time: int, fn: Callable[..., Any], *args) -> EventHandle:
         if time < self.now:
@@ -190,6 +238,9 @@ class Engine:
         handle.cancelled = True
         handle._engine = None
         handle.fn(*handle.args)
+        cb = self.on_event
+        if cb is not None:
+            cb()
         return True
 
     def run(
@@ -203,6 +254,8 @@ class Engine:
         count = 0
         buckets = self._buckets
         times = self._times
+        # Hoisted: the hook contract is install-before-run.
+        on_event = self.on_event
         while True:
             if stop_when is not None and stop_when():
                 return
@@ -211,6 +264,12 @@ class Engine:
                     f"exceeded max_events={max_events} at t={self.now}; "
                     "likely a livelock in the simulated system"
                 )
+            if (count & _SOFT_DEADLINE_MASK) == 0 and _SOFT_DEADLINE is not None:
+                if monotonic() > _SOFT_DEADLINE:
+                    raise SoftTimeoutError(
+                        f"soft deadline expired at t={self.now} "
+                        f"after {self._events_run} events"
+                    )
             # Inlined _advance_head(): find the next live handle.
             handle = None
             while True:
@@ -259,4 +318,6 @@ class Engine:
             handle.cancelled = True  # consumed (see step())
             handle._engine = None
             handle.fn(*handle.args)
+            if on_event is not None:
+                on_event()
             count += 1

@@ -2,7 +2,15 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+# Kernel invariant checking is on for the whole suite (ISSUE 4): every
+# simulation any test runs doubles as a correctness audit.  The checker is
+# read-only, so results — including the golden digests — are unchanged.
+# Respect an explicit opt-out (REPRO_CHECK_INVARIANTS=0) for timing work.
+os.environ.setdefault("REPRO_CHECK_INVARIANTS", "1")
 
 from repro.config import (
     HardwareConfig,

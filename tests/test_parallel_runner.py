@@ -18,11 +18,13 @@ from repro.runners.full_report import (
     resolve_scale,
 )
 from repro.runners.parallel import (
+    QUARANTINE_DIR,
     RUNNERS,
     ExperimentError,
     ExperimentSpec,
     ParallelRunner,
     cache_key,
+    classify_failure,
     vanilla_desc,
 )
 
@@ -117,7 +119,7 @@ def test_cache_invalidated_on_version_bump(tmp_path):
     assert r3.stats.cache_hits == 0 and r3.stats.executed == 1
 
 
-def test_corrupt_cache_entry_is_recomputed(tmp_path):
+def test_corrupt_cache_entry_is_recomputed_and_quarantined(tmp_path):
     specs = fig1_subset_specs()[:1]
     r1 = ParallelRunner(jobs=1, cache_dir=tmp_path)
     res1 = r1.run(specs)
@@ -125,8 +127,71 @@ def test_corrupt_cache_entry_is_recomputed(tmp_path):
     (tmp_path / entry).write_text("{not json", encoding="utf-8")
     r2 = ParallelRunner(jobs=1, cache_dir=tmp_path)
     res2 = r2.run(specs)
-    assert r2.stats.executed == 1
+    assert r2.stats.executed == 1 and r2.stats.quarantined == 1
     assert res1 == res2
+    # The bad entry is kept as evidence, not deleted ...
+    assert (tmp_path / QUARANTINE_DIR / entry).exists()
+    # ... and the recompute rewrote a valid entry in its place.
+    r3 = ParallelRunner(jobs=1, cache_dir=tmp_path)
+    r3.run(specs)
+    assert r3.stats.cache_hits == 1 and r3.stats.quarantined == 0
+
+
+def _tamper_entry(cache_dir, mutate):
+    """Load the single cache entry, apply ``mutate``, write it back."""
+    (name,) = [p for p in os.listdir(cache_dir) if p.endswith(".json")]
+    path = cache_dir / name
+    entry = json.loads(path.read_text(encoding="utf-8"))
+    mutate(entry)
+    path.write_text(json.dumps(entry), encoding="utf-8")
+    return name
+
+
+def test_cache_schema_mismatch_is_quarantined(tmp_path):
+    specs = fig1_subset_specs()[:1]
+    res1 = ParallelRunner(jobs=1, cache_dir=tmp_path).run(specs)
+    name = _tamper_entry(tmp_path, lambda e: e.update(schema=1))
+    r = ParallelRunner(jobs=1, cache_dir=tmp_path)
+    assert r.run(specs) == res1  # recomputed, not trusted
+    assert r.stats.quarantined == 1 and r.stats.cache_hits == 0
+    assert (tmp_path / QUARANTINE_DIR / name).exists()
+
+
+def test_cache_checksum_mismatch_is_quarantined(tmp_path):
+    specs = fig1_subset_specs()[:1]
+    res1 = ParallelRunner(jobs=1, cache_dir=tmp_path).run(specs)
+
+    def flip_result(entry):  # bit-rot in the payload, checksum now stale
+        entry["result"]["duration_ns"] += 1
+
+    _tamper_entry(tmp_path, flip_result)
+    r = ParallelRunner(jobs=1, cache_dir=tmp_path)
+    assert r.run(specs) == res1
+    assert r.stats.quarantined == 1 and r.stats.cache_hits == 0
+
+
+def test_cache_wrong_spec_entry_is_quarantined(tmp_path):
+    """A file copied to the wrong key (or a hash collision) must not leak
+    another spec's result."""
+    specs = fig1_subset_specs()[:1]
+    ParallelRunner(jobs=1, cache_dir=tmp_path).run(specs)
+    _tamper_entry(tmp_path, lambda e: e.update(seed=999))
+    r = ParallelRunner(jobs=1, cache_dir=tmp_path)
+    r.run(specs)
+    assert r.stats.quarantined == 1 and r.stats.executed == 1
+
+
+def test_cache_entries_written_atomically_with_integrity_fields(tmp_path):
+    from repro.runners.parallel import CACHE_SCHEMA, _entry_checksum
+
+    specs = fig1_subset_specs()[:2]
+    ParallelRunner(jobs=2, cache_dir=tmp_path).run(specs)
+    names = sorted(os.listdir(tmp_path))
+    assert not [n for n in names if ".tmp." in n]  # no partial files left
+    for name in [n for n in names if n.endswith(".json")]:
+        entry = json.loads((tmp_path / name).read_text(encoding="utf-8"))
+        assert entry["schema"] == CACHE_SCHEMA
+        assert entry["sha256"] == _entry_checksum(entry)
 
 
 def test_no_cache_mode_writes_nothing(tmp_path):
@@ -197,6 +262,94 @@ def test_unknown_runner_rejected():
 
 
 # ---------------------------------------------------------------------
+# failure taxonomy, backoff, keep-going mode, soft deadline
+# ---------------------------------------------------------------------
+def test_classify_failure_taxonomy():
+    from concurrent.futures.process import BrokenProcessPool
+
+    from repro.errors import SoftTimeoutError
+
+    assert classify_failure(TimeoutError("x")) == "timeout"
+    assert classify_failure(SoftTimeoutError("x")) == "timeout"
+    assert classify_failure(BrokenProcessPool("x")) == "crash"
+    assert classify_failure(ValueError("x")) == "exception"
+
+
+def test_backoff_schedule_is_deterministic_and_capped():
+    r = ParallelRunner(jobs=1, use_cache=False, backoff_base_s=0.25)
+    schedule = [r._backoff_s(a) for a in range(1, 8)]
+    assert schedule == [0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 8.0]
+    # Jitterless by design: the same attempt always waits the same time.
+    assert schedule == [r._backoff_s(a) for a in range(1, 8)]
+
+
+def _bad_spec(spec_id="bad"):
+    return ExperimentSpec(id=spec_id, runner="suite_point",
+                          params={"name": "no-such-benchmark", "nthreads": 8,
+                                  "config": vanilla_desc(8, 0)},
+                          seed=0)
+
+
+def test_keep_going_records_failure_and_continues(tmp_path):
+    specs = [_bad_spec(), *fig1_subset_specs()[:1]]
+    r = ParallelRunner(jobs=1, cache_dir=tmp_path, retries=0,
+                       strict=False, backoff_base_s=0.0)
+    results = r.run(specs)
+    assert results[0] is None  # the failed spec's slot, not an exception
+    assert results[1] is not None and results[1]["duration_ns"] > 0
+    assert r.stats.failed == 1 and r.stats.completed == 1
+    assert r.stats.failures["bad"]["kind"] == "exception"
+    assert "no-such-benchmark" in r.stats.failures["bad"]["error"]
+
+
+def test_keep_going_classifies_timeouts_in_pool():
+    spec = ExperimentSpec(id="sleepy", runner="debug_sleep",
+                          params={"seconds": 10.0}, seed=0)
+    r = ParallelRunner(jobs=2, use_cache=False, timeout_s=0.2, retries=0,
+                       strict=False)
+    assert r.run([spec]) == [None]
+    assert r.stats.failures["sleepy"]["kind"] == "timeout"
+
+
+def test_strict_failure_reports_spec_and_cause():
+    r = ParallelRunner(jobs=1, use_cache=False, retries=1,
+                       backoff_base_s=0.0)
+    with pytest.raises(ExperimentError, match="2 attempts") as ei:
+        r.run([_bad_spec()])
+    assert "bad" in str(ei.value)
+
+
+def test_soft_deadline_times_out_without_sigalrm(monkeypatch):
+    """On platforms without SIGALRM the engine's polled soft deadline is
+    the only timeout; a never-terminating simulation must still stop."""
+    import signal as signal_mod
+
+    monkeypatch.delattr(signal_mod, "SIGALRM", raising=False)
+    spec = ExperimentSpec(id="spin", runner="debug_spin_sim",
+                          params={}, seed=0)
+    r = ParallelRunner(jobs=1, use_cache=False, timeout_s=0.3, retries=0)
+    t0 = time.monotonic()
+    with pytest.raises(ExperimentError, match="spin"):
+        r.run([spec])
+    assert time.monotonic() - t0 < 10.0
+
+
+def test_soft_deadline_cleared_after_spec(monkeypatch):
+    """A timed spec must not leave its deadline armed for the next one."""
+    from repro.sim import engine as engine_mod
+
+    import signal as signal_mod
+
+    monkeypatch.delattr(signal_mod, "SIGALRM", raising=False)
+    spec = ExperimentSpec(id="spin", runner="debug_spin_sim",
+                          params={"max_events": 100}, seed=0)
+    r = ParallelRunner(jobs=1, use_cache=False, timeout_s=5.0, retries=0)
+    (res,) = r.run([spec])
+    assert res == {"events": 100}
+    assert engine_mod._SOFT_DEADLINE is None
+
+
+# ---------------------------------------------------------------------
 # full-report decomposition and flag resolution
 # ---------------------------------------------------------------------
 def test_full_report_spec_ids_unique_and_runners_registered():
@@ -235,10 +388,15 @@ def test_run_all_flags_roundtrip():
     add_report_flags(ap)
     args = ap.parse_args(["--quick", "--jobs", "4", "--no-cache",
                           "--cache-dir", "/tmp/x", "--seed", "3",
-                          "--results", "none"])
+                          "--results", "none", "--max-retries", "2",
+                          "--strict"])
     assert args.quick and args.jobs == 4 and args.no_cache
     assert args.cache_dir == "/tmp/x" and args.seed == 3
     assert args.results == "none"
+    assert args.max_retries == 2 and args.strict
+    # keep-going is the default; one retry matches the old behavior
+    args = ap.parse_args([])
+    assert args.max_retries == 1 and not args.strict
 
 
 def test_cli_all_subcommand_registered():
