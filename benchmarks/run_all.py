@@ -6,6 +6,7 @@ Usage::
     python benchmarks/run_all.py [--scale 1.0] [--quick] [--jobs N]
                                  [--no-cache] [--cache-dir DIR]
                                  [--results FILE] [--seed N]
+                                 [--strict] [--validate]
 
 Every data point (app x thread-count x kernel-mode x core-count) is an
 independent deterministic simulation, so the report fans them out across a
@@ -17,6 +18,11 @@ cache state; a warm-cache re-run executes zero simulations.
 ``--quick`` is a *default* for ``--scale`` (0.3): an explicit ``--scale``
 always wins, with a warning when both are given.  A machine-readable
 ``results.json`` artifact is written alongside the printed tables.
+
+``--validate`` additionally checks the produced results against the
+paper fidelity specs (``docs/validation.md``) and exits 4 on an
+uncatalogued drift; ``--strict`` turns partial results (specs that
+failed after retries) into exit 2.
 """
 
 from __future__ import annotations

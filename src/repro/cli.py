@@ -9,6 +9,12 @@ Examples::
     python -m repro table2
     python -m repro suite streamcluster --threads 32 --cores 8 --optimized
     python -m repro ablations
+    python -m repro validate --results results.json --strict
+    python -m repro docs --check
+
+The full command/flag reference (``docs/cli.md``) and the exit-code
+table are generated from this module — see ``python -m repro docs`` and
+:mod:`repro.exitcodes`.
 """
 
 from __future__ import annotations
@@ -17,6 +23,12 @@ import argparse
 import sys
 
 from .config import optimized_config, vanilla_config
+from .exitcodes import (
+    EXIT_CHAOS_VIOLATION,
+    EXIT_FAILURE,
+    EXIT_FIDELITY_VIOLATION,
+    EXIT_OK,
+)
 from .runners import ablations as ab
 from .runners import figures, format_table
 from .workloads import SUITE, profile, run_suite_benchmark
@@ -279,7 +291,7 @@ def cmd_adapt(args) -> int:
         )
     except SimulationError as exc:
         print(f"crashed (as real pinned programs do): {exc}")
-        return 1
+        return EXIT_FAILURE
     print(format_table(
         ["t (ms)", "cores", "phases/window", "utilization %"],
         [[w.t_start_ms, w.cores, w.phases_completed, w.utilization_pct]
@@ -509,7 +521,7 @@ def cmd_chaos_run(args) -> int:
         make_bundle(workload, plan, out).save(path)
         print(f"replay bundle -> {path}"
               + ("" if out.ok else f"  (repro: repro chaos replay {path})"))
-    return 0 if out.ok else 3
+    return EXIT_OK if out.ok else EXIT_CHAOS_VIOLATION
 
 
 def cmd_chaos_replay(args) -> int:
@@ -523,11 +535,86 @@ def cmd_chaos_replay(args) -> int:
     _print_chaos_outcome(outcome)
     if reproduced:
         print("outcome REPRODUCED deterministically")
-        return 0
+        return EXIT_OK
     print("outcome NOT reproduced:")
     for d in diffs:
         print(f"  {d}")
-    return 1
+    return EXIT_FAILURE
+
+
+def cmd_validate(args) -> int:
+    import json
+
+    from .validate import Results, evaluate
+    from .validate.compare import Status
+    from .validate.report import write_experiments_md
+
+    try:
+        results = Results.load(args.results)
+    except FileNotFoundError:
+        print(f"no results artifact at {args.results!r} — produce one "
+              f"with `python -m repro all` or benchmarks/run_all.py",
+              file=sys.stderr)
+        return EXIT_FAILURE
+    report = evaluate(results, quick_only=True if args.quick else None)
+
+    style = {
+        Status.MATCH: "ok", Status.DEVIATION: "DEVIATION",
+        Status.VIOLATION: "VIOLATION", Status.MISSING: "MISSING",
+        Status.SKIPPED: "skipped",
+    }
+    print(format_table(
+        ["spec", "paper", "measured", "band", "status"],
+        [
+            [o.spec.id, o.spec.paper, o.measured_display,
+             f"{o.spec.band_text()} {o.spec.unit}".rstrip(),
+             style[o.status]]
+            for o in report.outcomes
+        ],
+        title=f"fidelity validation — seed {report.seed}, "
+              f"scale {report.scale:g}",
+    ))
+    counts = report.counts()
+    print(f"{len(report.outcomes)} specs: {counts['MATCH']} match, "
+          f"{counts['DEVIATION']} known deviations, "
+          f"{counts['VIOLATION']} violations, {counts['MISSING']} missing, "
+          f"{counts['SKIPPED']} skipped")
+    for o in report.violations + report.by_status(Status.MISSING):
+        print(f"  {style[o.status]} {o.spec.id}: {o.message}")
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as f:
+            json.dump(report.as_dict(), f, indent=1, sort_keys=True)
+        print(f"structured report -> {args.json}")
+    if args.update_docs:
+        write_experiments_md(results, args.docs)
+        print(f"regenerated {args.docs} from "
+              f"{args.results} (seed {report.seed}, scale {report.scale:g})")
+    if report.failed(strict=args.strict):
+        return EXIT_FIDELITY_VIOLATION
+    return EXIT_OK
+
+
+def cmd_docs(args) -> int:
+    from .validate.cli_docs import render_cli_md
+
+    text = render_cli_md(build_parser())
+    if args.check:
+        try:
+            with open(args.out, encoding="utf-8") as f:
+                current = f.read()
+        except FileNotFoundError:
+            current = None
+        if current != text:
+            print(f"{args.out} is stale — regenerate with "
+                  f"`python -m repro docs`", file=sys.stderr)
+            return EXIT_FAILURE
+        print(f"{args.out} is up to date")
+        return EXIT_OK
+    with open(args.out, "w", encoding="utf-8", newline="\n") as f:
+        f.write(text)
+    print(f"wrote {args.out}")
+    return EXIT_OK
 
 
 def cmd_chaos_plan(args) -> int:
@@ -728,6 +815,41 @@ def build_parser() -> argparse.ArgumentParser:
     _chaos_plan_flags(cp)
     cp.add_argument("--out", default="chaos-plan.json", metavar="FILE")
     cp.set_defaults(fn=cmd_chaos_plan)
+
+    p = sub.add_parser(
+        "validate",
+        help="check a results artifact against the paper's fidelity "
+             "specs; exit 4 on a violation",
+    )
+    p.add_argument("--results", default="results.json", metavar="FILE",
+                   help="results artifact from `repro all` / run_all.py "
+                        "(default results.json)")
+    p.add_argument("--update-docs", action="store_true",
+                   help="regenerate EXPERIMENTS.md from the spec registry "
+                        "plus this artifact")
+    p.add_argument("--docs", default="EXPERIMENTS.md", metavar="FILE",
+                   help="path written by --update-docs "
+                        "(default EXPERIMENTS.md)")
+    p.add_argument("--strict", action="store_true",
+                   help="also exit 4 when a spec could not be evaluated "
+                        "(missing/failed results)")
+    p.add_argument("--quick", action="store_true",
+                   help="evaluate only the quick-scale spec subset even "
+                        "for a full-fidelity artifact")
+    p.add_argument("--json", default=None, metavar="FILE",
+                   help="write the structured validation report here")
+    p.set_defaults(fn=cmd_validate)
+
+    p = sub.add_parser(
+        "docs",
+        help="regenerate docs/cli.md from the argparse tree",
+    )
+    p.add_argument("--out", default="docs/cli.md", metavar="FILE",
+                   help="output path (default docs/cli.md)")
+    p.add_argument("--check", action="store_true",
+                   help="verify the file matches instead of writing; "
+                        "exit 1 on drift")
+    p.set_defaults(fn=cmd_docs)
 
     return ap
 

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Callable, TextIO
 
 from .. import __version__
+from ..exitcodes import EXIT_FIDELITY_VIOLATION, EXIT_PARTIAL
 from ..hw.memmodel import AccessPattern
 from ..metrics.stats import LatencySummary
 from ..workloads.profiles import SUITE, SyncKind, fig9_profiles
@@ -746,6 +747,10 @@ def add_report_flags(ap: argparse.ArgumentParser) -> None:
     ap.add_argument("--sample-interval-us", type=float, default=None,
                     metavar="US", help="also run the interval sampler at "
                                        "this period (requires --trace-dir)")
+    ap.add_argument("--validate", action="store_true",
+                    help="after the report, check the results against the "
+                         "paper fidelity specs (repro validate); exit 4 "
+                         "on a violation")
 
 
 def run_full_report(
@@ -763,6 +768,7 @@ def run_full_report(
     progress_out: TextIO | None = None,
     trace_dir: str | None = None,
     sample_interval_us: float | None = None,
+    validate: bool = False,
 ) -> int:
     """Regenerate every table and figure via the parallel runner.
 
@@ -771,7 +777,10 @@ def run_full_report(
     failure note, everything else renders normally, and the run summary
     classifies each failure (timeout/crash/exception).  ``strict=True``
     turns any such partial result into a nonzero exit (2) — for CI — after
-    still rendering everything that succeeded."""
+    still rendering everything that succeeded.  ``validate=True``
+    additionally evaluates the paper fidelity specs
+    (:mod:`repro.validate`) against the produced results and turns any
+    VIOLATION into exit 4."""
     out = out if out is not None else sys.stdout
     progress_out = progress_out if progress_out is not None else sys.stderr
     t0 = time.time()
@@ -845,25 +854,25 @@ def run_full_report(
         ), file=out)
     print(f"total wall time: {time.time() - t0:.1f}s", file=out)
 
+    artifact = {
+        "version": __version__,
+        "seed": seed,
+        "scale": params.scale,
+        "quick": quick,
+        "jobs": runner.jobs,
+        "elapsed_s": time.time() - t0,
+        "cache": {"hits": st.cache_hits, "simulated": st.executed,
+                  "retried": st.retried, "failed": st.failed,
+                  "quarantined": st.quarantined},
+        "failures": st.failures,
+        "results": [
+            {**spec.payload(), "result": value,
+             **({"error": st.failures[spec.id]}
+                if spec.id in st.failures else {})}
+            for spec, value in zip(specs, values)
+        ],
+    }
     if results_path and results_path != "none":
-        artifact = {
-            "version": __version__,
-            "seed": seed,
-            "scale": params.scale,
-            "quick": quick,
-            "jobs": runner.jobs,
-            "elapsed_s": time.time() - t0,
-            "cache": {"hits": st.cache_hits, "simulated": st.executed,
-                      "retried": st.retried, "failed": st.failed,
-                      "quarantined": st.quarantined},
-            "failures": st.failures,
-            "results": [
-                {**spec.payload(), "result": value,
-                 **({"error": st.failures[spec.id]}
-                    if spec.id in st.failures else {})}
-                for spec, value in zip(specs, values)
-            ],
-        }
         # Atomic replace: a crash (or a reader racing the writer) must
         # never leave a truncated results.json behind.
         tmp = f"{results_path}.tmp.{os.getpid()}"
@@ -871,11 +880,32 @@ def run_full_report(
             json.dump(artifact, f, indent=1, sort_keys=True)
         os.replace(tmp, results_path)
         print(f"results written to {results_path}", file=progress_out)
+
+    fidelity_failed = False
+    if validate:
+        from ..validate import Results, evaluate
+
+        report = evaluate(Results(artifact))
+        counts = report.counts()
+        banner("Fidelity validation (paper specs)", out)
+        print(f"{len(report.outcomes)} specs: {counts['MATCH']} match, "
+              f"{counts['DEVIATION']} known deviations, "
+              f"{counts['VIOLATION']} violations, "
+              f"{counts['MISSING']} missing, {counts['SKIPPED']} skipped",
+              file=out)
+        from ..validate.compare import Status
+
+        for o in report.violations + report.by_status(Status.MISSING):
+            print(f"  {o.status.value} {o.spec.id}: {o.message}", file=out)
+        fidelity_failed = report.failed(strict=strict)
+
     if st.failed:
         print(f"warning: {st.failed} spec(s) failed; results are partial",
               file=progress_out)
         if strict:
-            return 2
+            return EXIT_PARTIAL
+    if fidelity_failed:
+        return EXIT_FIDELITY_VIOLATION
     return 0
 
 
@@ -893,4 +923,5 @@ def main_from_args(args: argparse.Namespace) -> int:
         strict=getattr(args, "strict", False),
         trace_dir=getattr(args, "trace_dir", None),
         sample_interval_us=getattr(args, "sample_interval_us", None),
+        validate=getattr(args, "validate", False),
     )

@@ -1,0 +1,163 @@
+"""Generate ``docs/cli.md`` from the live argparse tree.
+
+The CLI reference used to be hand-maintained prose scattered across
+README and docs/, and it drifted every time a flag was added or renamed.
+This renderer walks :func:`repro.cli.build_parser` — every subcommand,
+every nested subcommand, every flag with its default and help string —
+and emits deterministic markdown.  ``python -m repro docs`` writes the
+file; ``--check`` (and the CI docs-drift job) fails when the committed
+file no longer matches the code.
+
+Determinism notes: argparse's own help formatter wraps to the terminal
+width (``COLUMNS``), so this module never calls it — everything is
+rendered from the parser's action objects directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from ..exitcodes import EXIT_TABLE
+
+__all__ = ["render_cli_md", "write_cli_md"]
+
+_HEADER = """\
+# `repro` CLI reference
+
+> **Generated file — do not edit by hand.**  Rendered from the live
+> argparse tree by `python -m repro docs` (add `--check` to verify
+> without writing).  The CI docs-drift job fails when this file no
+> longer matches the code.
+
+Invoke as `python -m repro <command>` (with `src/` on `PYTHONPATH`, or
+after `pip install -e .`).
+"""
+
+
+def _option_name(action: argparse.Action) -> str:
+    if action.option_strings:
+        name = ", ".join(f"`{s}`" for s in action.option_strings)
+        metavar = _metavar(action)
+        if metavar:
+            name += f" `{metavar}`"
+        return name
+    return f"`{_metavar(action)}`"
+
+
+def _metavar(action: argparse.Action) -> str:
+    if action.nargs == 0:
+        return ""
+    if action.metavar is not None:
+        if isinstance(action.metavar, tuple):
+            return " ".join(action.metavar)
+        return action.metavar
+    if action.choices is not None:
+        return "{" + ",".join(str(c) for c in action.choices) + "}"
+    if action.option_strings:
+        return action.dest.upper()
+    return action.dest
+
+
+def _default_text(action: argparse.Action) -> str:
+    if action.nargs == 0 or action.default is argparse.SUPPRESS:
+        return "-"
+    if action.default is None:
+        return "-"
+    if isinstance(action.default, list):
+        return "`" + " ".join(str(v) for v in action.default) + "`"
+    return f"`{action.default}`"
+
+
+def _help_text(action: argparse.Action) -> str:
+    text = (action.help or "").replace("|", "\\|")
+    return " ".join(text.split())
+
+
+def _iter_subparsers(parser: argparse.ArgumentParser):
+    """Yield (canonical name, aliases, subparser) for every subcommand,
+    deduplicating aliases (e.g. ``table1`` -> the ``fig09`` parser)."""
+    for action in parser._actions:
+        if not isinstance(action, argparse._SubParsersAction):
+            continue
+        seen: dict[int, str] = {}
+        aliases: dict[str, list[str]] = {}
+        for name, sub in action.choices.items():
+            if id(sub) in seen:
+                aliases[seen[id(sub)]].append(name)
+            else:
+                seen[id(sub)] = name
+                aliases[name] = []
+        for name, sub in action.choices.items():
+            if seen[id(sub)] == name:
+                yield name, aliases[name], sub
+
+
+def _render_actions(parser: argparse.ArgumentParser,
+                    lines: list[str]) -> None:
+    rows = [
+        a for a in parser._actions
+        if not isinstance(a, (argparse._HelpAction,
+                              argparse._SubParsersAction))
+    ]
+    if not rows:
+        return
+    lines.append("| argument | default | description |")
+    lines.append("|---|---|---|")
+    for action in rows:
+        lines.append(f"| {_option_name(action)} | {_default_text(action)} "
+                     f"| {_help_text(action)} |")
+    lines.append("")
+
+
+def _render_command(prefix: str, name: str, aliases: list[str],
+                    parser: argparse.ArgumentParser, lines: list[str],
+                    depth: int) -> None:
+    heading = "#" * depth
+    alias_note = f" (alias: {', '.join(f'`{a}`' for a in aliases)})" \
+        if aliases else ""
+    lines.append(f"{heading} `{prefix} {name}`{alias_note}")
+    lines.append("")
+    description = parser.description or ""
+    if description:
+        lines.append(" ".join(description.split()))
+        lines.append("")
+    _render_actions(parser, lines)
+    for sub_name, sub_aliases, sub in _iter_subparsers(parser):
+        _render_command(f"{prefix} {name}", sub_name, sub_aliases, sub,
+                        lines, depth + 1)
+
+
+def render_cli_md(parser: argparse.ArgumentParser) -> str:
+    lines = [_HEADER]
+    lines.append("## Exit codes")
+    lines.append("")
+    lines.append("| code | meaning | produced by |")
+    lines.append("|---|---|---|")
+    seen_codes = set()
+    for code, meaning, source in EXIT_TABLE:
+        marker = f"{code}" if code not in seen_codes else f"{code} (also)"
+        seen_codes.add(code)
+        lines.append(f"| {marker} | {meaning} | {source} |")
+    lines.append("")
+    lines.append("## Commands")
+    lines.append("")
+    subcommands = list(_iter_subparsers(parser))
+    lines.append("| command | summary |")
+    lines.append("|---|---|")
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            for choice in action._choices_actions:
+                lines.append(f"| `{choice.dest}` "
+                             f"| {_help_text(choice)} |")
+    lines.append("")
+    for name, aliases, sub in subcommands:
+        _render_command("repro", name, aliases, sub, lines, 3)
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def write_cli_md(parser: argparse.ArgumentParser,
+                 path: str = "docs/cli.md") -> str:
+    text = render_cli_md(parser)
+    with open(path, "w", encoding="utf-8", newline="\n") as f:
+        f.write(text)
+    return text

@@ -1,0 +1,174 @@
+"""Evaluate fidelity specs against a results artifact.
+
+Each :class:`~repro.validate.specs.FidelitySpec` is extracted and
+classified:
+
+* ``MATCH`` — the measured value sits inside the spec's acceptance band.
+* ``DEVIATION`` — outside the band, but the spec names a catalogued
+  known deviation (:data:`~repro.validate.specs.DEVIATIONS`); the
+  mismatch is expected and documented.
+* ``VIOLATION`` — outside the band with no catalogued excuse: the
+  reproduction drifted from the paper.  ``repro validate`` exits 4.
+* ``MISSING`` — the artifact lacks the results the spec needs (failed
+  spec, partial run, or a section subset); under ``--strict`` this is
+  as fatal as a violation.
+* ``SKIPPED`` — the spec only holds at full fidelity and the artifact
+  was produced at a reduced scale (``quick=False`` specs).
+
+Two kinds of drift are caught, deliberately: a MATCH going out of band,
+and a catalogued DEVIATION *coming back into* band (the catalog entry is
+then stale — fix the registry).  The latter reports as ``VIOLATION``
+with an explanatory message so CI flags it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .. import __version__
+from .specs import SPECS, DEVIATIONS, FidelitySpec, MissingResult, Results
+
+__all__ = ["Status", "SpecOutcome", "ValidationReport", "evaluate"]
+
+#: Exit code of ``repro validate`` on fidelity drift (kept distinct from
+#: the runner's --strict exit 2 and chaos's invariant-violation exit 3).
+EXIT_VIOLATION = 4
+
+
+class Status(enum.Enum):
+    MATCH = "MATCH"
+    DEVIATION = "DEVIATION"
+    VIOLATION = "VIOLATION"
+    MISSING = "MISSING"
+    SKIPPED = "SKIPPED"
+
+
+@dataclass(frozen=True)
+class SpecOutcome:
+    spec: FidelitySpec
+    status: Status
+    measured: float | None
+    message: str = ""
+
+    @property
+    def measured_display(self) -> str:
+        if self.measured is None:
+            return "-"
+        text = self.spec.fmt.format(self.measured)
+        return f"{text} {self.spec.unit}".rstrip()
+
+    def as_dict(self) -> dict:
+        s = self.spec
+        return {
+            "id": s.id,
+            "section": s.section,
+            "title": s.title,
+            "paper": s.paper,
+            "band": list(s.band),
+            "unit": s.unit,
+            "quick": s.quick,
+            "deviation": s.deviation,
+            "measured": self.measured,
+            "measured_display": self.measured_display,
+            "status": self.status.value,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    outcomes: list[SpecOutcome]
+    scale: float
+    seed: int
+    artifact_version: str
+    quick_only: bool
+
+    def counts(self) -> dict[str, int]:
+        counts = {status.value: 0 for status in Status}
+        for outcome in self.outcomes:
+            counts[outcome.status.value] += 1
+        return counts
+
+    def by_status(self, status: Status) -> list[SpecOutcome]:
+        return [o for o in self.outcomes if o.status is status]
+
+    @property
+    def violations(self) -> list[SpecOutcome]:
+        return self.by_status(Status.VIOLATION)
+
+    def failed(self, strict: bool = False) -> bool:
+        """Whether this report should fail a gate.
+
+        A VIOLATION always fails.  ``strict`` additionally fails on
+        MISSING data — a fidelity gate that silently skips unevaluable
+        claims is not a gate."""
+        if self.violations:
+            return True
+        return strict and bool(self.by_status(Status.MISSING))
+
+    def as_dict(self) -> dict:
+        return {
+            "repro_version": __version__,
+            "artifact": {
+                "version": self.artifact_version,
+                "seed": self.seed,
+                "scale": self.scale,
+            },
+            "quick_only": self.quick_only,
+            "counts": self.counts(),
+            "specs": [o.as_dict() for o in self.outcomes],
+        }
+
+
+def evaluate_spec(spec: FidelitySpec, results: Results, *,
+                  quick_only: bool = False) -> SpecOutcome:
+    if quick_only and not spec.quick:
+        return SpecOutcome(spec, Status.SKIPPED, None,
+                           "full-fidelity spec skipped at reduced scale")
+    try:
+        measured = float(spec.extract(results))
+    except MissingResult as exc:
+        return SpecOutcome(spec, Status.MISSING, None, str(exc))
+    if spec.in_band(measured):
+        if spec.deviation is not None:
+            # The catalogued mismatch no longer mismatches: the catalog
+            # entry is stale.  Surface it as drift, not a quiet pass.
+            return SpecOutcome(
+                spec, Status.VIOLATION, measured,
+                f"measured {spec.fmt.format(measured)} is inside the "
+                f"paper band, but the spec declares known deviation "
+                f"{spec.deviation!r} — the deviation catalog is stale; "
+                f"drop the annotation (and celebrate)",
+            )
+        return SpecOutcome(spec, Status.MATCH, measured)
+    if spec.deviation is not None:
+        return SpecOutcome(
+            spec, Status.DEVIATION, measured,
+            DEVIATIONS[spec.deviation].split("—")[0].strip("* "),
+        )
+    return SpecOutcome(
+        spec, Status.VIOLATION, measured,
+        f"measured {spec.fmt.format(measured)} outside the acceptance "
+        f"band {spec.band_text()} (paper: {spec.paper})",
+    )
+
+
+def evaluate(results: Results, *, specs: list[FidelitySpec] | None = None,
+             quick_only: bool | None = None) -> ValidationReport:
+    """Evaluate ``specs`` (default: the full registry) against an
+    artifact.  ``quick_only=None`` auto-selects: artifacts produced at a
+    reduced scale skip the full-fidelity-only specs."""
+    if specs is None:
+        specs = SPECS
+    if quick_only is None:
+        quick_only = results.scale < 1.0
+    outcomes = [evaluate_spec(s, results, quick_only=quick_only)
+                for s in specs]
+    return ValidationReport(
+        outcomes=outcomes,
+        scale=results.scale,
+        seed=results.seed,
+        artifact_version=results.version,
+        quick_only=quick_only,
+    )

@@ -1,0 +1,134 @@
+"""Deterministic EXPERIMENTS.md generation.
+
+EXPERIMENTS.md is a build product: the *paper* column comes from the
+spec registry, the *measured* column from a ``results.json`` artifact,
+and the deviation catalog from the registry's annotations.  Rendering
+the same (registry, artifact) pair twice yields byte-identical output —
+no timestamps, no environment, no float repr ambiguity (every number is
+formatted through its spec's explicit format string).
+
+``python -m repro validate --update-docs`` writes the file; the CI
+docs-drift job regenerates it from the committed quick-scale fixture
+and fails on any diff.
+"""
+
+from __future__ import annotations
+
+from .compare import Status, ValidationReport, evaluate
+from .specs import DEVIATIONS, SECTION_DOCS, Results
+
+__all__ = ["render_experiments_md", "write_experiments_md"]
+
+_HEADER = """\
+# EXPERIMENTS — paper vs. measured
+
+> **Generated file — do not edit by hand.**  The paper column comes from
+> the fidelity-spec registry (`src/repro/validate/specs.py`), the
+> measured column from a `results.json` artifact produced by
+> `benchmarks/run_all.py` / `python -m repro all`.  Regenerate with
+> `python -m repro validate --results <results.json> --update-docs`;
+> `docs/validation.md` explains the spec registry and tolerance bands.
+
+Times are **simulated-virtual**; the reproduction target is the paper's
+*shape* — who wins, by roughly what factor, where crossovers fall — not
+the authors' testbed wall-clock.  Every check below is an executable
+`FidelitySpec` with an explicit acceptance band; `python -m repro
+validate` re-evaluates all of them and exits nonzero on drift.  Known
+mismatches are catalogued at the end and machine-checked too: a
+deviation that silently disappears (or a match that starts deviating)
+fails validation.
+
+Bands context: simulated substrate (repro band 1/5 for Python — the
+mechanisms are kernel-level), so every result below comes from the
+simulator described in DESIGN.md.
+"""
+
+_STATUS_DISPLAY = {
+    Status.MATCH: "match",
+    Status.DEVIATION: "deviation (catalogued)",
+    Status.VIOLATION: "**VIOLATION**",
+    Status.MISSING: "missing",
+    Status.SKIPPED: "skipped (full scale only)",
+}
+
+
+def _escape(text: str) -> str:
+    return text.replace("|", "\\|")
+
+
+def render_experiments_md(results: Results, *,
+                          report: ValidationReport | None = None) -> str:
+    """Render the full EXPERIMENTS.md text for an artifact."""
+    if report is None:
+        report = evaluate(results)
+    by_section: dict[str, list] = {}
+    for outcome in report.outcomes:
+        by_section.setdefault(outcome.spec.section, []).append(outcome)
+
+    counts = report.counts()
+    lines: list[str] = [_HEADER]
+    lines.append(
+        f"Results artifact: seed {report.seed}, scale {report.scale:g}, "
+        f"repro {report.artifact_version}.  Specs: "
+        f"{len(report.outcomes)} evaluated — {counts['MATCH']} match, "
+        f"{counts['DEVIATION']} known deviations, "
+        f"{counts['VIOLATION']} violations, {counts['SKIPPED']} skipped, "
+        f"{counts['MISSING']} missing."
+    )
+    lines.append("")
+    lines.append("---")
+
+    for doc in SECTION_DOCS:
+        outcomes = by_section.get(doc.key, [])
+        lines.append("")
+        lines.append(f"## {doc.title}")
+        lines.append("")
+        lines.append(f"Paper: {doc.claim}")
+        lines.append("")
+        if outcomes:
+            lines.append("| check | paper | measured | accepted band "
+                         "| status |")
+            lines.append("|---|---|---|---|---|")
+            for o in outcomes:
+                s = o.spec
+                lines.append(
+                    f"| {_escape(s.title)} | {_escape(s.paper)} "
+                    f"| {o.measured_display} | {s.band_text()} "
+                    f"{s.unit}".rstrip()
+                    + f" | {_STATUS_DISPLAY[o.status]} |"
+                )
+            lines.append("")
+        notes = [o.spec for o in outcomes if o.spec.note]
+        if doc.note:
+            lines.append(doc.note)
+            lines.append("")
+        for spec in notes:
+            lines.append(f"* `{spec.id}` — {spec.note}")
+        if notes:
+            lines.append("")
+
+    lines.append("---")
+    lines.append("")
+    lines.append("## Known deviations from the paper")
+    lines.append("")
+    referenced = {o.spec.deviation for o in report.outcomes
+                  if o.spec.deviation}
+    for i, (key, text) in enumerate(DEVIATIONS.items(), start=1):
+        suffix = "" if key in referenced else \
+            " *(catalog-only: no spec currently references this entry)*"
+        lines.append(f"{i}. {text} [`{key}`]{suffix}")
+    lines.append("")
+    lines.append(
+        "Deviation entries are referenced by fidelity specs: when a "
+        "catalogued mismatch stops mismatching, `repro validate` flags "
+        "the stale entry instead of silently passing."
+    )
+    return "\n".join(lines) + "\n"
+
+
+def write_experiments_md(results: Results, path: str = "EXPERIMENTS.md",
+                         *, report: ValidationReport | None = None) -> str:
+    text = render_experiments_md(results, report=report)
+    with open(path, "w", encoding="utf-8", newline="\n") as f:
+        f.write(text)
+    return text

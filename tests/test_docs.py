@@ -1,0 +1,134 @@
+"""Docs stay true: generated files are fresh, every doc is reachable
+from README, command examples name real subcommands, and the exit-code
+table matches both the constants and the CLI's behavior."""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro import exitcodes
+from repro.cli import build_parser, main
+from repro.validate import Results, render_experiments_md
+from repro.validate.cli_docs import render_cli_md
+
+REPO = Path(__file__).resolve().parents[1]
+FIXTURE = REPO / "benchmarks" / "fixtures" / "results-quick.json"
+
+_MD_REF = re.compile(r"[\w./-]+\.md")
+
+
+def _md_refs(path: Path) -> set[str]:
+    """Markdown files referenced from ``path``, normalized repo-relative."""
+    refs = set()
+    for ref in _MD_REF.findall(path.read_text(encoding="utf-8")):
+        candidate = (REPO / ref).resolve()
+        if candidate.is_file():
+            refs.add(candidate.relative_to(REPO).as_posix())
+    return refs
+
+
+# ------------------------------------------------------------ reachability
+
+def test_every_doc_is_reachable_from_readme():
+    frontier = ["README.md"]
+    reachable = {"README.md"}
+    while frontier:
+        current = frontier.pop()
+        for ref in _md_refs(REPO / current):
+            if ref not in reachable:
+                reachable.add(ref)
+                frontier.append(ref)
+    docs = {p.relative_to(REPO).as_posix() for p in (REPO / "docs").glob("*.md")}
+    unreachable = docs - reachable
+    assert not unreachable, (
+        f"docs not linked (directly or transitively) from README: "
+        f"{sorted(unreachable)}")
+    assert "EXPERIMENTS.md" in reachable
+
+
+# ------------------------------------------------------- generated files
+
+def test_cli_md_is_fresh():
+    committed = (REPO / "docs" / "cli.md").read_text(encoding="utf-8")
+    assert committed == render_cli_md(build_parser()), (
+        "docs/cli.md is stale — regenerate with `python -m repro docs`")
+
+
+def test_cli_md_rendering_is_deterministic():
+    assert render_cli_md(build_parser()) == render_cli_md(build_parser())
+
+
+def test_experiments_md_is_fresh():
+    committed = (REPO / "EXPERIMENTS.md").read_text(encoding="utf-8")
+    regenerated = render_experiments_md(Results.load(str(FIXTURE)))
+    assert committed == regenerated, (
+        "EXPERIMENTS.md is stale — regenerate with `python -m repro "
+        "validate --results benchmarks/fixtures/results-quick.json "
+        "--update-docs`")
+
+
+def test_docs_check_cli(tmp_path, capsys):
+    fresh = REPO / "docs" / "cli.md"
+    assert main(["docs", "--check", "--out", str(fresh)]) == 0
+    stale = tmp_path / "cli.md"
+    stale.write_text(fresh.read_text(encoding="utf-8") + "drift\n",
+                     encoding="utf-8")
+    assert main(["docs", "--check", "--out", str(stale)]) == 1
+    assert "stale" in capsys.readouterr().err
+
+
+# -------------------------------------------------- command-example drift
+
+def test_readme_and_docs_reference_only_real_subcommands():
+    parser = build_parser()
+    choices = set()
+    for action in parser._actions:
+        if hasattr(action, "choices") and action.choices:
+            choices |= set(action.choices)
+    pattern = re.compile(r"python -m repro ([a-z0-9]+)")
+    sources = [REPO / "README.md", *sorted((REPO / "docs").glob("*.md")),
+               REPO / "EXPERIMENTS.md"]
+    for path in sources:
+        for cmd in pattern.findall(path.read_text(encoding="utf-8")):
+            assert cmd in choices, (
+                f"{path.name} references unknown subcommand "
+                f"`python -m repro {cmd}`")
+
+
+# ----------------------------------------------------------- exit codes
+
+def test_exit_table_matches_constants():
+    codes = [code for code, _, _ in exitcodes.EXIT_TABLE]
+    assert codes == sorted(codes)
+    assert set(codes) == {
+        exitcodes.EXIT_OK, exitcodes.EXIT_FAILURE, exitcodes.EXIT_USAGE,
+        exitcodes.EXIT_CHAOS_VIOLATION, exitcodes.EXIT_FIDELITY_VIOLATION,
+    }
+    assert exitcodes.EXIT_OK == 0
+    assert exitcodes.EXIT_FAILURE == 1
+    assert exitcodes.EXIT_USAGE == exitcodes.EXIT_PARTIAL == 2
+    assert exitcodes.EXIT_CHAOS_VIOLATION == 3
+    assert exitcodes.EXIT_FIDELITY_VIOLATION == 4
+
+
+def test_exit_table_is_rendered_into_cli_md():
+    text = (REPO / "docs" / "cli.md").read_text(encoding="utf-8")
+    for code, meaning, source in exitcodes.EXIT_TABLE:
+        assert meaning in text
+        assert source in text
+
+
+def test_chaos_exit_codes_documented_consistently():
+    """README and docs/robustness.md tell the same exit-code story as
+    the constants (satellite of ISSUE 5: the two used to drift)."""
+    readme = (REPO / "README.md").read_text(encoding="utf-8")
+    robust = (REPO / "docs" / "robustness.md").read_text(encoding="utf-8")
+    assert "exit 3 on violation" in readme
+    assert "exit 0 iff it reproduces, 1 otherwise" in readme
+    assert f"{exitcodes.EXIT_CHAOS_VIOLATION}\n(`EXIT_CHAOS_VIOLATION`)" \
+        in robust or "EXIT_CHAOS_VIOLATION" in robust
+    assert "EXIT_FAILURE" in robust
+    # and the behavioral codes they describe exist
+    assert exitcodes.EXIT_CHAOS_VIOLATION == 3
+    assert exitcodes.EXIT_FAILURE == 1

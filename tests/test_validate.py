@@ -1,0 +1,212 @@
+"""Fidelity validation: comparator semantics, registry coverage,
+deterministic doc generation, and the planted-drift exit code."""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.exitcodes import EXIT_FIDELITY_VIOLATION, EXIT_OK
+from repro.validate import (
+    DEVIATIONS,
+    SPECS,
+    FidelitySpec,
+    Results,
+    Status,
+    evaluate,
+    render_experiments_md,
+)
+from repro.validate.compare import evaluate_spec
+
+REPO = Path(__file__).resolve().parents[1]
+FIXTURE = REPO / "benchmarks" / "fixtures" / "results-quick.json"
+
+
+def _artifact(results=None, scale=0.3):
+    return {
+        "version": "test", "seed": 1, "scale": scale, "quick": True,
+        "jobs": 1, "elapsed_s": 0.0, "cache": {}, "failures": {},
+        "results": results or [],
+    }
+
+
+def _spec(value_or_fn, band, *, quick=True, deviation=None):
+    extract = value_or_fn if callable(value_or_fn) else (
+        lambda r, v=value_or_fn: v)
+    return FidelitySpec(
+        id="synthetic/x", section="fig01", title="synthetic",
+        paper="n/a", extract=extract, band=band, quick=quick,
+        deviation=deviation,
+    )
+
+
+def _status(value_or_fn, band, **kw):
+    return evaluate_spec(_spec(value_or_fn, band, **kw),
+                         Results(_artifact())).status
+
+
+# ---------------------------------------------------------------- bands
+
+def test_two_sided_band_boundaries_are_inclusive():
+    assert _status(1.0, (1.0, 2.0)) is Status.MATCH
+    assert _status(2.0, (1.0, 2.0)) is Status.MATCH
+    assert _status(1.5, (1.0, 2.0)) is Status.MATCH
+    assert _status(0.999, (1.0, 2.0)) is Status.VIOLATION
+    assert _status(2.001, (1.0, 2.0)) is Status.VIOLATION
+
+
+def test_one_sided_bands():
+    assert _status(-50.0, (None, 0.0)) is Status.MATCH
+    assert _status(0.1, (None, 0.0)) is Status.VIOLATION
+    assert _status(1e9, (3.0, None)) is Status.MATCH
+    assert _status(2.9, (3.0, None)) is Status.VIOLATION
+
+
+def test_asymmetric_band():
+    # "roughly 25x" with room above but little below
+    band = (20.0, 60.0)
+    assert _status(24.5, band) is Status.MATCH
+    assert _status(59.0, band) is Status.MATCH
+    assert _status(19.0, band) is Status.VIOLATION
+
+
+def test_nan_never_matches():
+    assert _status(math.nan, (None, None)) is Status.VIOLATION
+
+
+# ---------------------------------------------------- deviation catalog
+
+def test_out_of_band_with_catalog_entry_is_deviation():
+    out = evaluate_spec(_spec(10.0, (None, 2.0), deviation="run-lengths"),
+                        Results(_artifact()))
+    assert out.status is Status.DEVIATION
+    assert out.message  # carries the catalog prose
+
+
+def test_stale_catalog_entry_is_a_violation():
+    # a catalogued deviation coming back *into* band must not pass quietly
+    out = evaluate_spec(_spec(1.5, (None, 2.0), deviation="run-lengths"),
+                        Results(_artifact()))
+    assert out.status is Status.VIOLATION
+    assert "stale" in out.message
+
+
+def test_unknown_deviation_keys_are_impossible_in_the_registry():
+    for spec in SPECS:
+        if spec.deviation is not None:
+            assert spec.deviation in DEVIATIONS
+
+
+# ----------------------------------------------------- missing, skipped
+
+def test_missing_result_classifies_as_missing_not_match():
+    spec = _spec(lambda r: r.duration("absent/id"), (None, None))
+    out = evaluate_spec(spec, Results(_artifact()))
+    assert out.status is Status.MISSING
+    assert out.measured is None
+
+
+def test_missing_is_fatal_only_under_strict():
+    spec = _spec(lambda r: r.duration("absent/id"), (None, None))
+    report = evaluate(Results(_artifact()), specs=[spec])
+    assert not report.failed(strict=False)
+    assert report.failed(strict=True)
+
+
+def test_full_scale_only_spec_skips_on_quick_artifact():
+    spec = _spec(1.0, (None, None), quick=False)
+    out = evaluate_spec(spec, Results(_artifact(scale=0.3)),
+                        quick_only=True)
+    assert out.status is Status.SKIPPED
+    # auto-detection: scale 1.0 artifact evaluates everything
+    report = evaluate(Results(_artifact(scale=1.0)), specs=[spec])
+    assert report.outcomes[0].status is Status.MATCH
+
+
+# ----------------------------------------------------- registry & fixture
+
+def test_registry_covers_every_figure_and_table():
+    sections = {s.section for s in SPECS}
+    assert sections >= {
+        "fig01", "fig02", "fig03", "fig04", "fig09", "table1", "fig10",
+        "fig11", "fig12", "fig13", "fig14", "fig15", "table2", "table3",
+    }
+    assert len(SPECS) >= 15
+    assert len({s.id for s in SPECS}) == len(SPECS)
+
+
+def test_committed_fixture_validates_clean():
+    report = evaluate(Results.load(str(FIXTURE)))
+    counts = report.counts()
+    assert counts["VIOLATION"] == 0, [
+        (o.spec.id, o.message) for o in report.violations]
+    assert counts["MISSING"] == 0
+    assert counts["MATCH"] >= 30
+    # every catalogued deviation in the registry actually deviates
+    deviating = {o.spec.id for o in report.by_status(Status.DEVIATION)}
+    annotated = {s.id for s in SPECS if s.deviation is not None}
+    assert deviating == annotated
+
+
+def test_experiments_md_regeneration_is_deterministic():
+    results = Results.load(str(FIXTURE))
+    first = render_experiments_md(results)
+    second = render_experiments_md(results)
+    assert first == second
+    assert "Generated file" in first
+    # every known deviation is documented in the output
+    for key in DEVIATIONS:
+        assert key in first
+
+
+# --------------------------------------------------------- CLI behavior
+
+def test_validate_cli_passes_on_committed_fixture(capsys):
+    assert main(["validate", "--results", str(FIXTURE)]) == EXIT_OK
+    out = capsys.readouterr().out
+    assert "0 violations" in out
+
+
+def test_planted_drift_fails_strict_validation(tmp_path, capsys):
+    artifact = json.loads(FIXTURE.read_text(encoding="utf-8"))
+    planted = False
+    for row in artifact["results"]:
+        if row["id"] == "fig01/lu/32T":
+            row["result"]["duration_ns"] *= 2  # a 2x fidelity drift
+            planted = True
+    assert planted
+    drifted = tmp_path / "drifted.json"
+    drifted.write_text(json.dumps(artifact), encoding="utf-8")
+    rc = main(["validate", "--results", str(drifted), "--strict"])
+    assert rc == EXIT_FIDELITY_VIOLATION
+    out = capsys.readouterr().out
+    assert "VIOLATION" in out and "fig01/lu-collapse" in out
+
+
+def test_validate_cli_json_report(tmp_path):
+    report_path = tmp_path / "report.json"
+    assert main(["validate", "--results", str(FIXTURE),
+                 "--json", str(report_path)]) == EXIT_OK
+    data = json.loads(report_path.read_text(encoding="utf-8"))
+    assert data["counts"]["VIOLATION"] == 0
+    assert len(data["specs"]) == len(SPECS)
+    by_id = {s["id"]: s for s in data["specs"]}
+    assert by_id["fig01/lu-collapse"]["status"] == "MATCH"
+
+
+def test_validate_cli_update_docs_round_trip(tmp_path):
+    doc = tmp_path / "EXPERIMENTS.md"
+    assert main(["validate", "--results", str(FIXTURE), "--update-docs",
+                 "--docs", str(doc)]) == EXIT_OK
+    text = doc.read_text(encoding="utf-8")
+    assert text == render_experiments_md(Results.load(str(FIXTURE)))
+
+
+def test_validate_cli_missing_artifact_exits_1(tmp_path, capsys):
+    rc = main(["validate", "--results", str(tmp_path / "nope.json")])
+    assert rc == 1
+    assert "no results artifact" in capsys.readouterr().err
