@@ -35,6 +35,7 @@ bootstrap()
 import bench_endtoend  # noqa: E402
 import bench_engine  # noqa: E402
 import bench_kernel  # noqa: E402
+import bench_loadgen  # noqa: E402
 import bench_runqueue  # noqa: E402
 
 BASELINE_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
@@ -45,6 +46,7 @@ _BENCHES = {
     "engine": bench_engine,
     "runqueue": bench_runqueue,
     "kernel": bench_kernel,
+    "loadgen": bench_loadgen,
     "endtoend": bench_endtoend,
 }
 

@@ -266,6 +266,13 @@ def cmd_all(args) -> int:
     return main_from_args(args)
 
 
+def cmd_serve(args) -> int:
+    from .runners.full_report import main_from_args
+
+    args.sections = ["serve"]
+    return main_from_args(args)
+
+
 def cmd_ablations(args) -> int:
     for rows, key in ((ab.vb_ablation(seed=args.seed), "full VB"),
                       (ab.bwd_ablation(seed=args.seed), "full BWD")):
@@ -654,6 +661,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_report_flags(p)
     p.set_defaults(fn=cmd_all)
+
+    p = sub.add_parser(
+        "serve",
+        help="heavy-traffic serving scenarios: open-loop burst sweep, "
+             "oversubscription-ratio sweep, closed loop, and multi-"
+             "tenant colocation with per-tenant SLO tracking",
+    )
+    add_report_flags(p)
+    p.set_defaults(fn=cmd_serve, results="results-serve.json")
 
     simple = {
         "fig01": (cmd_fig01, True), "fig02": (cmd_fig02, False),

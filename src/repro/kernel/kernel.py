@@ -123,6 +123,11 @@ class Kernel:
         # Hot-path aliases: skip two dict lookups per latency sample.
         self._h_wakeup = self.hists["wakeup_latency_ns"]
         self._h_block = self.hists["futex_block_ns"]
+        # Invariant guard: latency probes must never feed a negative
+        # duration to the histograms (chaos clock faults can re-order the
+        # timestamps a probe subtracts).  Violations are clamped at the
+        # probe site and counted here.
+        self.negative_latency_samples = 0
         self._obs_sampler = None
         self._obs_reported = False
         self.rng_streams = RngStreams(config.seed)
@@ -481,6 +486,9 @@ class Kernel:
         task.on_cpu_since = now
         if task.woken_at is not None:
             lat = now - task.woken_at
+            if lat < 0:
+                self.negative_latency_samples += 1
+                lat = 0
             task.stats.wakeup_latency_ns += lat
             self._h_wakeup.record(lat)
             task.woken_at = None
@@ -1199,7 +1207,11 @@ class Kernel:
             target = self._select_wake_cpu(task, sync=task.sync_wake)
         cpu = self.cpus[target]
         self._count_migration(task, target, wake=True)
-        self._h_block.record(now - task.state_since)
+        blocked_ns = now - task.state_since
+        if blocked_ns < 0:
+            self.negative_latency_samples += 1
+            blocked_ns = 0
+        self._h_block.record(blocked_ns)
         task.set_state(TaskState.RUNNABLE, now)
         task.block_kind = None
         task.wake_completed = True
@@ -1232,7 +1244,11 @@ class Kernel:
                 cpu.rq.min_vruntime
                 - self.config.scheduler.sched_latency_ns // 2,
             )
-        self._h_block.record(now - task.state_since)
+        blocked_ns = now - task.state_since
+        if blocked_ns < 0:
+            self.negative_latency_samples += 1
+            blocked_ns = 0
+        self._h_block.record(blocked_ns)
         task.set_state(TaskState.RUNNABLE, now)
         task.block_kind = None
         task.wake_completed = True
@@ -1278,7 +1294,11 @@ class Kernel:
             target = self._select_wake_cpu(task, sync=task.sync_wake)
         cpu = self.cpus[target]
         self._count_migration(task, target, wake=True)
-        self._h_block.record(now - task.state_since)
+        blocked_ns = now - task.state_since
+        if blocked_ns < 0:
+            self.negative_latency_samples += 1
+            blocked_ns = 0
+        self._h_block.record(blocked_ns)
         task.set_state(TaskState.RUNNABLE, now)
         task.block_kind = None
         task.wake_completed = True
@@ -1386,6 +1406,9 @@ class Kernel:
             self.engine.now - max(task.mode_since, task.on_cpu_since)
             if task.mode is RunMode.SPIN else 0
         )
+        if spin_ns < 0:
+            self.negative_latency_samples += 1
+            spin_ns = 0
         self.hists["bwd_spin_to_deschedule_ns"].record(spin_ns)
         self._cancel_cpu_event(cpu)
         self._put_prev_runnable(cpu)

@@ -27,6 +27,10 @@ class LatencySummary:
     p95: float
     p99: float
     max: float
+    # p999 was added for SLO tracking after artifacts with the older
+    # six-field shape were already in the wild; the default keeps
+    # ``LatencySummary(**old_dict)`` reconstruction working.
+    p999: float = 0.0
 
     def as_dict(self) -> dict[str, float]:
         return {
@@ -35,6 +39,7 @@ class LatencySummary:
             "p50": self.p50,
             "p95": self.p95,
             "p99": self.p99,
+            "p999": self.p999,
             "max": self.max,
         }
 
@@ -50,4 +55,5 @@ def summarize_latencies(values: Sequence[float]) -> LatencySummary:
         p95=percentile(arr, 95),
         p99=percentile(arr, 99),
         max=float(arr.max()),
+        p999=percentile(arr, 99.9),
     )

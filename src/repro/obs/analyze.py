@@ -102,6 +102,29 @@ def cpu_utilization_bins(
     return util, t0, t1
 
 
+def slo_violation_intervals(
+    events: Sequence[TraceEvent],
+) -> dict[str, list[list[float]]]:
+    """Per-tenant SLO-violation intervals, merged where contiguous.
+
+    ``slo-violation`` events (one per violated SLO window, emitted by
+    :class:`repro.workloads.serving.SloTracker`) carry ``start_ns`` /
+    ``end_ns``; adjacent windows collapse into one interval."""
+    merged: dict[str, list[list[float]]] = {}
+    for e in events:
+        if e.kind != "slo-violation":
+            continue
+        tenant = str(e.detail.get("tenant", "?"))
+        start = float(e.detail.get("start_ns", e.time))
+        end = float(e.detail.get("end_ns", e.time))
+        spans = merged.setdefault(tenant, [])
+        if spans and spans[-1][1] >= start:
+            spans[-1][1] = max(spans[-1][1], end)
+        else:
+            spans.append([start, end])
+    return merged
+
+
 def _lat_line(label: str, values: list[int]) -> list[Any]:
     values.sort()
     return [
@@ -152,6 +175,26 @@ def render_analysis(
     if chaos_total:
         print(f"chaos: {chaos_total} injected fault event(s) in this trace "
               "— timings include deliberate perturbation", file=out)
+
+    # Serving runs emit one slo-violation event per violated SLO window;
+    # report them as merged per-tenant intervals so an operator can see
+    # *when* the tail budget was blown, not just that it was.
+    slo = slo_violation_intervals(events)
+    if slo:
+        rows = [
+            [tenant, span[0] / 1e6, span[1] / 1e6,
+             (span[1] - span[0]) / 1e6]
+            for tenant, spans in sorted(slo.items())
+            for span in spans
+        ]
+        print(format_table(
+            ["tenant", "from (ms)", "to (ms)", "length (ms)"], rows,
+            title="SLO-violation intervals", float_fmt="{:.1f}",
+        ), file=out)
+        n = counts.get("slo-violation", 0)
+        print(f"slo: {n} violated window(s) across "
+              f"{sum(len(s) for s in slo.values())} interval(s) — "
+              "latency percentiles above include these regions", file=out)
 
     rec = recorder_from(events)
     lat_rows = []

@@ -34,7 +34,7 @@ class Log2Histogram:
     """Histogram of non-negative integer samples (nanoseconds)."""
 
     __slots__ = ("name", "_counts", "_count", "_total", "_min", "_max",
-                 "_pending")
+                 "_pending", "_negative_clamped")
 
     def __init__(self, name: str = ""):
         self.name = name
@@ -44,6 +44,7 @@ class Log2Histogram:
         self._min = 0
         self._max = 0
         self._pending: list[int] = []
+        self._negative_clamped = 0
 
     def record(self, value: int) -> None:
         """Hot path: one list append; aggregation is deferred."""
@@ -61,9 +62,14 @@ class Log2Histogram:
         total = self._total
         mn = self._min
         mx = self._max
+        neg = 0
         for value in pending:
             v = int(value)
             if v < 0:
+                # A negative duration is a probe bug or an injected clock
+                # fault; ``(-5).bit_length() == 3`` would silently corrupt
+                # a positive bucket, so clamp to 0 and keep the evidence.
+                neg += 1
                 v = 0
             b = v.bit_length()
             counts[b] = counts.get(b, 0) + 1
@@ -78,6 +84,7 @@ class Log2Histogram:
         self._total = total
         self._min = mn
         self._max = mx
+        self._negative_clamped += neg
 
     # -- flushing accessors (the public read API) ----------------------
     @property
@@ -104,6 +111,12 @@ class Log2Histogram:
     def counts(self) -> dict[int, int]:
         self._flush()
         return self._counts
+
+    @property
+    def negative_clamped(self) -> int:
+        """Samples that arrived negative and were clamped to bucket 0."""
+        self._flush()
+        return self._negative_clamped
 
     def percentile(self, pct: float) -> float:
         """Nearest-rank percentile, resolved to the bucket upper bound."""
@@ -152,10 +165,11 @@ class Log2Histogram:
             self._max = other._max
         self._count += other._count
         self._total += other._total
+        self._negative_clamped += other._negative_clamped
 
     def to_dict(self) -> dict[str, Any]:
         self._flush()
-        return {
+        d = {
             "name": self.name,
             "count": self._count,
             "total": self._total,
@@ -164,6 +178,9 @@ class Log2Histogram:
             "buckets": {str(b): self._counts[b]
                         for b in sorted(self._counts)},
         }
+        if self._negative_clamped:
+            d["negative_clamped"] = self._negative_clamped
+        return d
 
     @classmethod
     def from_dict(cls, d: dict[str, Any]) -> "Log2Histogram":
@@ -173,6 +190,7 @@ class Log2Histogram:
         h._min = int(d["min"])
         h._max = int(d["max"])
         h._counts = {int(b): int(n) for b, n in d["buckets"].items()}
+        h._negative_clamped = int(d.get("negative_clamped", 0))
         return h
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

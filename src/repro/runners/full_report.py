@@ -27,6 +27,7 @@ from ..exitcodes import EXIT_FIDELITY_VIOLATION, EXIT_PARTIAL
 from ..hw.memmodel import AccessPattern
 from ..metrics.stats import LatencySummary
 from ..workloads.profiles import SUITE, SyncKind, fig9_profiles
+from ..workloads.serving import SATURATION_RATE
 from . import figures
 from .figures import (
     FIG11_APPS,
@@ -664,6 +665,154 @@ def _render_table3(p: ReportParams, res: dict, out: TextIO) -> None:
     ), file=out)
 
 
+# ----- Heavy-traffic serving (ROADMAP item 3; beyond the paper) --------
+_SERVE_CORES = 4
+_SERVE_WORKERS = 8  # 2x oversubscription on the serving tenant alone
+_SERVE_SAT = SATURATION_RATE
+_SERVE_SLO = {"p99_target_us": 400.0, "p999_target_us": 2000.0,
+              "window_ms": 10.0}
+_SERVE_OPEN_LOADS = (("0.5x", 0.5), ("0.9x", 0.9), ("1.2x", 1.2))
+_SERVE_RATIOS = (("1x", 4), ("4x", 16))
+_SERVE_CLOSED = (("low", 16), ("high", 96))
+_SERVE_COLO_RATE = SATURATION_RATE * 0.25
+_SERVE_COLO_MODES = (
+    ("native", ("vanilla", "optimized")),
+    ("container", ("vanilla", "optimized")),
+    ("vm", ("vanilla", "ple", "optimized")),
+)
+
+
+def _serve_durations(p: ReportParams) -> tuple[float, float]:
+    """(duration_ms, warmup_ms): quick runs shrink the horizon only —
+    rates, SLOs, and the sweep shape stay identical."""
+    return (80.0, 10.0) if p.quick else (300.0, 30.0)
+
+
+def _serve_colo_config(p: ReportParams, mode: str, setting: str) -> dict:
+    if setting == "ple":
+        return ple_desc(_SERVE_CORES, p.seed)
+    if setting == "optimized":
+        return optimized_desc(_SERVE_CORES, p.seed, mode=mode)
+    return vanilla_desc(_SERVE_CORES, p.seed, mode=mode)
+
+
+def _specs_serve(p: ReportParams) -> list[ExperimentSpec]:
+    dur, warm = _serve_durations(p)
+    van = vanilla_desc(_SERVE_CORES, p.seed)
+    common = {"duration_ms": dur, "warmup_ms": warm, "slo": _SERVE_SLO}
+    specs = [
+        ExperimentSpec(
+            id=f"serve/open/{label}",
+            runner="serving_open",
+            params={"config": van, "workers": _SERVE_WORKERS,
+                    "rate": _SERVE_SAT * frac, **common},
+            seed=p.seed,
+        )
+        for label, frac in _SERVE_OPEN_LOADS
+    ]
+    # A bursty population of 1.5 M simulated users: 150 k/s base
+    # (1.5 M x 0.1 rps = 0.5x saturation), 3x bursts (1.5x saturation)
+    # for 20% of each 10 ms period.
+    specs.append(ExperimentSpec(
+        id="serve/open/burst",
+        runner="serving_open",
+        params={"config": van, "workers": _SERVE_WORKERS,
+                "rate": {"kind": "users", "users": 1_500_000,
+                         "requests_per_user_per_sec": 0.1,
+                         "burst_multiplier": 3.0, "period_ms": 10.0,
+                         "duty": 0.2},
+                **common},
+        seed=p.seed,
+    ))
+    specs += [
+        ExperimentSpec(
+            id=f"serve/ratio/{label}",
+            runner="serving_open",
+            params={"config": van, "workers": workers,
+                    "rate": _SERVE_SAT * 0.9, **common},
+            seed=p.seed,
+        )
+        for label, workers in _SERVE_RATIOS
+    ]
+    specs += [
+        ExperimentSpec(
+            id=f"serve/closed/{label}",
+            runner="serving_closed",
+            params={"config": van, "workers": _SERVE_WORKERS,
+                    "connections": conns, "think_us": 100.0, **common},
+            seed=p.seed,
+        )
+        for label, conns in _SERVE_CLOSED
+    ]
+    specs += [
+        ExperimentSpec(
+            id=f"serve/colo/{mode}/{setting}",
+            runner="serving_colo",
+            params={"config": _serve_colo_config(p, mode, setting),
+                    "workers": _SERVE_WORKERS, "rate": _SERVE_COLO_RATE,
+                    "batch_kernel": "cg", "batch_threads": 16, **common},
+            seed=p.seed,
+        )
+        for mode, settings in _SERVE_COLO_MODES
+        for setting in settings
+    ]
+    return specs
+
+
+def _serve_row(label: str, r: dict) -> list:
+    lat = r["latency"] or {}
+    slo = r["slo"]
+    return [
+        label,
+        r["offered_ops"] / 1e3,
+        r["goodput_ops"] / 1e3,
+        lat.get("p50", float("nan")),
+        lat.get("p99", float("nan")),
+        lat.get("p999", float("nan")),
+        f"{slo['violations']}/{slo['windows']}",
+        slo["compliance_pct"],
+    ]
+
+
+_SERVE_COLUMNS = ["point", "offered k/s", "goodput k/s", "p50 us",
+                  "p99 us", "p999 us", "SLO viol", "compl %"]
+
+
+def _render_serve(p: ReportParams, res: dict, out: TextIO) -> None:
+    open_rows = [
+        _serve_row(label, res[f"serve/open/{label}"])
+        for label, _ in _SERVE_OPEN_LOADS
+    ] + [_serve_row("burst", res["serve/open/burst"])] + [
+        _serve_row(f"ratio {label}", res[f"serve/ratio/{label}"])
+        for label, _ in _SERVE_RATIOS
+    ]
+    print(format_table(
+        _SERVE_COLUMNS, open_rows,
+        title=("open loop (rates relative to "
+               f"{SATURATION_RATE / 1e3:.0f} k/s saturation)"),
+        float_fmt="{:.1f}",
+    ), file=out)
+    print(format_table(
+        _SERVE_COLUMNS,
+        [_serve_row(f"{label} ({conns} conns)",
+                    res[f"serve/closed/{label}"])
+         for label, conns in _SERVE_CLOSED],
+        title="closed loop", float_fmt="{:.1f}",
+    ), file=out)
+    colo_rows = []
+    for mode, settings in _SERVE_COLO_MODES:
+        for setting in settings:
+            r = res[f"serve/colo/{mode}/{setting}"]
+            colo_rows.append(
+                _serve_row(f"{mode}/{setting}", r["serve"])
+                + [r["batch"]["progress_actions"]]
+            )
+    print(format_table(
+        _SERVE_COLUMNS + ["batch actions"], colo_rows,
+        title="colocation (serve tenant + NPB cg x16)", float_fmt="{:.1f}",
+    ), file=out)
+
+
 @dataclass(frozen=True)
 class Section:
     key: str
@@ -698,6 +847,8 @@ SECTIONS: list[Section] = [
             _specs_table2, _render_table2),
     Section("table3", "Table 3 — BWD specificity and overhead",
             _specs_table3, _render_table3),
+    Section("serve", "Heavy-traffic serving — open-loop bursts, SLOs, "
+            "colocation (beyond the paper)", _specs_serve, _render_serve),
 ]
 
 
@@ -769,6 +920,7 @@ def run_full_report(
     trace_dir: str | None = None,
     sample_interval_us: float | None = None,
     validate: bool = False,
+    sections: list[str] | None = None,
 ) -> int:
     """Regenerate every table and figure via the parallel runner.
 
@@ -780,7 +932,9 @@ def run_full_report(
     still rendering everything that succeeded.  ``validate=True``
     additionally evaluates the paper fidelity specs
     (:mod:`repro.validate`) against the produced results and turns any
-    VIOLATION into exit 4."""
+    VIOLATION into exit 4.  ``sections`` restricts the run to the named
+    section keys (default: all of :data:`SECTIONS`); validation then
+    evaluates only the fidelity specs of those sections."""
     out = out if out is not None else sys.stdout
     progress_out = progress_out if progress_out is not None else sys.stderr
     t0 = time.time()
@@ -790,8 +944,12 @@ def run_full_report(
         quick=quick,
         seed=seed,
     )
-    sections = build_all_specs(params)
-    specs = [spec for _, sec_specs in sections for spec in sec_specs]
+    built = [
+        (section, sec_specs)
+        for section, sec_specs in build_all_specs(params)
+        if sections is None or section.key in sections
+    ]
+    specs = [spec for _, sec_specs in built for spec in sec_specs]
 
     # On a tty, redraw one line with \r; otherwise (logs, CI) emit a plain
     # line at most every few seconds so the log stays readable.
@@ -829,7 +987,7 @@ def run_full_report(
     res = {spec.id: value for spec, value in zip(specs, values)}
     st = runner.stats
 
-    for section, sec_specs in sections:
+    for section, sec_specs in built:
         banner(section.title, out)
         missing = [s.id for s in sec_specs if res.get(s.id) is None]
         if missing:
@@ -884,8 +1042,12 @@ def run_full_report(
     fidelity_failed = False
     if validate:
         from ..validate import Results, evaluate
+        from ..validate.specs import SPECS
 
-        report = evaluate(Results(artifact))
+        subset = None if sections is None else [
+            s for s in SPECS if s.section in sections
+        ]
+        report = evaluate(Results(artifact), specs=subset)
         counts = report.counts()
         banner("Fidelity validation (paper specs)", out)
         print(f"{len(report.outcomes)} specs: {counts['MATCH']} match, "
@@ -924,4 +1086,5 @@ def main_from_args(args: argparse.Namespace) -> int:
         trace_dir=getattr(args, "trace_dir", None),
         sample_interval_us=getattr(args, "sample_interval_us", None),
         validate=getattr(args, "validate", False),
+        sections=getattr(args, "sections", None),
     )

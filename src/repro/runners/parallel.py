@@ -58,6 +58,14 @@ from ..workloads.microbench import (
 )
 from ..workloads.pipeline import spin_pipeline_run
 from ..workloads.profiles import SUITE, Group, SyncKind
+from ..workloads.serving import (
+    ServingConfig,
+    SloPolicy,
+    closed_loop_serve,
+    colocation_run,
+    open_loop_serve,
+)
+from ..workloads.loadgen import RateSchedule
 from ..workloads.spindetect import false_positive_probe, true_positive_probe
 from ..workloads.synthetic import run_suite_benchmark
 
@@ -219,6 +227,88 @@ def run_memcached(config: dict, workers: int, duration_ms: float) -> dict:
     }
 
 
+def schedule_from_desc(desc: dict) -> RateSchedule:
+    """Decode a JSON rate descriptor into a :class:`RateSchedule`.
+
+    ``kind`` selects the constructor: ``constant`` (default), ``burst``,
+    ``ramp``, ``diurnal``, or ``users`` (a user population whose
+    aggregate rate is ``users * requests_per_user_per_sec``, optionally
+    bursty).  Durations are in milliseconds for JSON friendliness.
+    """
+    kind = desc.get("kind", "constant")
+    if kind == "constant":
+        return RateSchedule.constant(desc["rate_per_sec"])
+    if kind == "burst":
+        return RateSchedule.burst(
+            desc["rate_per_sec"], desc["burst_multiplier"],
+            int(desc["period_ms"] * 1e6), duty=desc.get("duty", 0.2),
+        )
+    if kind == "ramp":
+        return RateSchedule.ramp(
+            desc["rate_per_sec"], desc["end_multiplier"],
+            int(desc["ramp_ms"] * 1e6),
+        )
+    if kind == "diurnal":
+        return RateSchedule.diurnal(
+            desc["rate_per_sec"], desc["peak_multiplier"],
+            int(desc["period_ms"] * 1e6), steps=desc.get("steps", 12),
+        )
+    if kind == "users":
+        kw = {}
+        if "burst_multiplier" in desc:
+            kw = {"burst_multiplier": desc["burst_multiplier"],
+                  "period_ns": int(desc["period_ms"] * 1e6),
+                  "duty": desc.get("duty", 0.2)}
+        return RateSchedule.for_users(
+            desc["users"], desc["requests_per_user_per_sec"], **kw,
+        )
+    raise ExperimentError(f"unknown rate-schedule kind {kind!r}")
+
+
+def _serving_args(rate, workers: int, slo: dict | None):
+    sched = (schedule_from_desc(rate) if isinstance(rate, dict)
+             else float(rate))
+    sc = ServingConfig(workers=workers)
+    policy = SloPolicy.from_dict(slo) if slo else SloPolicy(
+        p99_target_us=400.0, p999_target_us=2_000.0)
+    return sched, sc, policy
+
+
+def run_serving_open(config: dict, workers: int, rate,
+                     duration_ms: float = 100.0,
+                     warmup_ms: float = 10.0,
+                     slo: dict | None = None) -> dict:
+    sched, sc, policy = _serving_args(rate, workers, slo)
+    return open_loop_serve(make_config(config), sc, rate=sched,
+                           duration_ms=duration_ms, warmup_ms=warmup_ms,
+                           slo=policy)
+
+
+def run_serving_closed(config: dict, workers: int, connections: int,
+                       think_us: float = 100.0,
+                       duration_ms: float = 100.0,
+                       warmup_ms: float = 10.0,
+                       slo: dict | None = None) -> dict:
+    _, sc, policy = _serving_args(1.0, workers, slo)
+    return closed_loop_serve(make_config(config), sc,
+                             connections=connections, think_us=think_us,
+                             duration_ms=duration_ms, warmup_ms=warmup_ms,
+                             slo=policy)
+
+
+def run_serving_colo(config: dict, workers: int, rate,
+                     batch_kernel: str = "cg", batch_threads: int = 16,
+                     duration_ms: float = 100.0,
+                     warmup_ms: float = 10.0,
+                     slo: dict | None = None) -> dict:
+    sched, sc, policy = _serving_args(rate, workers, slo)
+    return colocation_run(make_config(config), sc, rate=sched,
+                          batch_kernel=batch_kernel,
+                          batch_threads=batch_threads,
+                          duration_ms=duration_ms, warmup_ms=warmup_ms,
+                          slo=policy)
+
+
 def run_spin_pipeline(algorithm: str, nthreads: int, config: dict,
                       total_stages: int = 960) -> dict:
     r = spin_pipeline_run(make_config(config), algorithm, nthreads,
@@ -285,6 +375,9 @@ RUNNERS: dict[str, Callable[..., dict]] = {
     "indirect_cost": run_indirect_cost,
     "primitive": run_primitive,
     "memcached": run_memcached,
+    "serving_open": run_serving_open,
+    "serving_closed": run_serving_closed,
+    "serving_colo": run_serving_colo,
     "spin_pipeline": run_spin_pipeline,
     "table2_tp": run_table2_tp,
     "table3_fp": run_table3_fp,
@@ -360,6 +453,16 @@ def classify_failure(exc: BaseException) -> str:
     return "exception"
 
 
+def _rate_of(rate) -> float:
+    """Mean arrivals/second of a serving spec's rate param (for hints)."""
+    try:
+        if isinstance(rate, dict):
+            return float(schedule_from_desc(rate).mean_rate_per_sec())
+        return float(rate)
+    except (ExperimentError, KeyError, TypeError, ValueError):
+        return 1e5
+
+
 # Per-runner cost hints: coarse, unitless proxies for a spec's wall time,
 # used only to order dispatch (longest first) on cold caches.  Wrong hints
 # cost a little tail latency, never correctness — results are merged in
@@ -383,6 +486,18 @@ _COST_HINTS: dict[str, Callable[[dict], float]] = {
     ),
     "spin_pipeline": lambda p: (
         p.get("nthreads", 8) * p.get("total_stages", 960) / 100.0
+    ),
+    # Serving specs scale with offered load x horizon; colocation adds
+    # the batch tenant on top.
+    "serving_open": lambda p: (
+        _rate_of(p.get("rate")) / 1e4 * p.get("duration_ms", 100.0) / 100.0
+    ),
+    "serving_closed": lambda p: (
+        p.get("connections", 32) * p.get("duration_ms", 100.0) / 100.0
+    ),
+    "serving_colo": lambda p: (
+        (_rate_of(p.get("rate")) / 1e4 + p.get("batch_threads", 16))
+        * p.get("duration_ms", 100.0) / 100.0
     ),
     "table2_tp": lambda p: float(p.get("duration_ms", 50.0)),
     "table3_fp": lambda p: (

@@ -462,6 +462,43 @@ def _table3_timer_overhead_worst(r: Results) -> float:
                for n in _TABLE3_APPS)
 
 
+# ----- Heavy-traffic serving (beyond the paper) ----------------------
+def _serve_latency(r: Results, spec_id: str) -> dict:
+    res = r.result(spec_id)
+    res = res.get("serve", res)  # colocation nests the serving tenant
+    lat = res.get("latency")
+    if not lat:
+        raise MissingResult(f"{spec_id!r} recorded no latency summary")
+    return lat
+
+
+def _serve_p99(spec_id: str) -> Callable[[Results], float]:
+    return lambda r: float(_serve_latency(r, spec_id)["p99"])
+
+
+def _serve_p99_ratio(num_id: str, den_id: str) -> Callable[[Results], float]:
+    def ratio(r: Results) -> float:
+        return (float(_serve_latency(r, num_id)["p99"])
+                / float(_serve_latency(r, den_id)["p99"]))
+    return ratio
+
+
+def _serve_slo(r: Results, spec_id: str) -> dict:
+    res = r.result(spec_id)
+    return res.get("serve", res)["slo"]
+
+
+def _serve_goodput_drop(r: Results) -> float:
+    res = r.result("serve/open/1.2x")
+    return res["offered_ops"] / res["goodput_ops"]
+
+
+def _serve_batch_parity(r: Results) -> float:
+    opt = r.result("serve/colo/native/optimized")["batch"]
+    van = r.result("serve/colo/native/vanilla")["batch"]
+    return opt["progress_actions"] / van["progress_actions"]
+
+
 # =====================================================================
 # The registry
 # =====================================================================
@@ -794,6 +831,97 @@ SPECS: list[FidelitySpec] = [
         paper="< 3%", unit="%", extract=_table3_timer_overhead_worst,
         band=(None, 3.0),
     ),
+    # ----- Heavy-traffic serving (beyond the paper) ------------------
+    # Queueing-theory shape checks, not paper numbers: the paper stops
+    # at closed-loop memcached; these pin the open-loop/SLO behavior
+    # the serving scenarios add on top.
+    _spec(
+        id="serve/open-loop-collapse", section="serve",
+        title="open-loop p99 collapses past saturation (1.2x vs 0.5x)",
+        paper="unbounded growth", unit="x",
+        extract=_serve_p99_ratio("serve/open/1.2x", "serve/open/0.5x"),
+        fmt="{:.0f}", band=(25.0, None),
+        note="Open-loop overload queues without back-pressure, so the "
+             "tail grows with the horizon (~760x at the quick scale, "
+             "~4200x at 300 ms).",
+    ),
+    _spec(
+        id="serve/open-loop-goodput-drop", section="serve",
+        title="past saturation the served rate stops tracking the "
+              "offered rate (offered/goodput at 1.2x)",
+        paper="> 1", unit="x", extract=_serve_goodput_drop,
+        band=(1.1, None),
+    ),
+    _spec(
+        id="serve/slo-clean-under-capacity", section="serve",
+        title="no SLO violation windows at half saturation",
+        paper="0", unit="windows", fmt="{:.0f}",
+        extract=lambda r: float(
+            _serve_slo(r, "serve/open/0.5x")["violations"]),
+        band=(0.0, 0.0),
+    ),
+    _spec(
+        id="serve/slo-overload-violations", section="serve",
+        title="overload is visible in the SLO windows (compliance at "
+              "1.2x)",
+        paper="collapses", unit="%", fmt="{:.0f}",
+        extract=lambda r: float(
+            _serve_slo(r, "serve/open/1.2x")["compliance_pct"]),
+        band=(None, 60.0),
+    ),
+    _spec(
+        id="serve/burst-tail-amplification", section="serve",
+        title="3x bursts at a safe mean rate still wreck the tail "
+              "(burst p99 vs steady 0.5x p99)",
+        paper="order(s) of magnitude", unit="x",
+        extract=_serve_p99_ratio("serve/open/burst", "serve/open/0.5x"),
+        fmt="{:.0f}", band=(8.0, None),
+        note="The burst schedule has the same 0.5x *mean* rate as the "
+             "steady point; only the burstiness differs.",
+    ),
+    _spec(
+        id="serve/closed-loop-graceful", section="serve",
+        title="closed-loop overload degrades gracefully (96-connection "
+              "p99 stays bounded)",
+        paper="bounded by population", unit="us", fmt="{:.0f}",
+        extract=_serve_p99("serve/closed/high"),
+        band=(None, 5000.0),
+        note="The finite client population is the back-pressure the "
+             "open loop lacks — same offered load, ~15x smaller tail.",
+    ),
+    _spec(
+        id="serve/ratio-inflates-tail", section="serve",
+        title="raising the oversubscription ratio at fixed load "
+              "inflates the tail (4x vs 1x workers at 0.9x load)",
+        paper="grows with ratio", unit="x",
+        extract=_serve_p99_ratio("serve/ratio/4x", "serve/ratio/1x"),
+        fmt="{:.0f}", band=(2.0, None),
+    ),
+    _spec(
+        id="serve/colo-vb-cuts-tail", section="serve",
+        title="VB+BWD cut the colocated serving tail vs vanilla "
+              "(native, vanilla/optimized p99)",
+        paper="VB recovers tails (fig12)", unit="x",
+        extract=_serve_p99_ratio("serve/colo/native/vanilla",
+                                 "serve/colo/native/optimized"),
+        band=(1.5, None),
+    ),
+    _spec(
+        id="serve/colo-ple-blind", section="serve",
+        title="PLE does not help the colocated tail (vm PLE vs vm "
+              "vanilla p99)",
+        paper="PLE useless off spinloops", unit="x",
+        extract=_serve_p99_ratio("serve/colo/vm/ple",
+                                 "serve/colo/vm/vanilla"),
+        band=(0.8, 1.25),
+    ),
+    _spec(
+        id="serve/colo-batch-parity", section="serve",
+        title="the serving tail win does not starve the batch tenant "
+              "(optimized/vanilla batch progress)",
+        paper="no batch sacrifice", unit="x",
+        extract=_serve_batch_parity, band=(0.9, None),
+    ),
 ]
 
 _seen: set[str] = set()
@@ -923,6 +1051,21 @@ SECTION_DOCS: list[SectionDoc] = [
         title="Table 3 — BWD specificity and overhead",
         claim="Specificity 99.38–99.99%; FP overhead <= 0.99%; timer "
               "overhead < 3%.",
+    ),
+    SectionDoc(
+        key="serve",
+        title="Heavy-traffic serving — open-loop bursts, SLOs, "
+              "colocation (beyond the paper)",
+        claim="Not in the paper: open-loop arrivals past saturation "
+              "collapse the tail and the goodput while a closed loop "
+              "only degrades gracefully; 3x bursts at a safe mean rate "
+              "still violate the SLO; under colocation with a batch "
+              "tenant, VB+BWD recover the serving tail without "
+              "sacrificing batch progress, and PLE is blind to it.",
+        note="These extend Figure 12's closed-loop memcached story to "
+             "the open-loop/SLO regime real serving fleets run in "
+             "(`docs/serving.md`). Bands encode queueing-theory shape, "
+             "not paper numbers.",
     ),
 ]
 

@@ -7,13 +7,23 @@ so the offered load is bursty.  :class:`ClosedLoopClients` owns that loop
 and the latency bookkeeping; servers call :meth:`complete` when a request
 finishes and the next one is scheduled automatically.
 
-An open-loop variant (:class:`OpenLoopClients`) fires requests at a fixed
+An open-loop variant (:class:`OpenLoopClients`) fires requests at a
 Poisson rate regardless of completions — the configuration that exposes
-queueing collapse when the server saturates.
+queueing collapse when the server saturates.  The rate may be a plain
+number or a :class:`RateSchedule`: a piecewise profile (bursts, ramps,
+diurnal cycles) sampled as a *modulated* Poisson process via
+Lewis-Shedler thinning, so arrival times stay deterministic per seed
+regardless of how the schedule is shaped.
+
+Measured-window semantics: both client classes discard the first
+``warmup_ns`` of the run and count *sends* and *completions* over the
+same post-warmup window (``sent_measured`` / ``completed``), so offered
+load and goodput are directly comparable.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Any, Callable
 
@@ -21,6 +31,10 @@ import numpy as np
 
 from ..kernel.kernel import Kernel
 from ..metrics.stats import LatencySummary, summarize_latencies
+
+US = 1_000
+MS = 1_000_000
+SEC = 1_000_000_000
 
 
 @dataclass(frozen=True)
@@ -32,6 +46,191 @@ class ClientRequest:
     payload: Any
 
 
+# ---------------------------------------------------------------------------
+# Arrival-rate schedules
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RatePhase:
+    """One segment of a rate profile.
+
+    The offered rate over the phase is ``base_rate * multiplier``; when
+    ``ramp_to`` is set the multiplier interpolates linearly from
+    ``multiplier`` at the phase start to ``ramp_to`` at its end.
+    """
+
+    duration_ns: int
+    multiplier: float = 1.0
+    ramp_to: float | None = None
+
+    def multiplier_at(self, frac: float) -> float:
+        if self.ramp_to is None:
+            return self.multiplier
+        return self.multiplier + (self.ramp_to - self.multiplier) * frac
+
+
+@dataclass(frozen=True)
+class RateSchedule:
+    """Piecewise arrival-rate profile for open-loop clients.
+
+    ``phases`` partition time from the generator's start; with
+    ``repeat=True`` the profile cycles (a diurnal pattern), otherwise the
+    last phase's final rate holds forever.  An empty ``phases`` tuple is a
+    constant rate of ``base_rate_per_sec``.
+    """
+
+    base_rate_per_sec: float
+    phases: tuple[RatePhase, ...] = ()
+    repeat: bool = True
+
+    def __post_init__(self):
+        if self.base_rate_per_sec <= 0:
+            raise ValueError("rate must be positive")
+        for ph in self.phases:
+            if ph.duration_ns <= 0:
+                raise ValueError("phase duration must be positive")
+            if ph.multiplier < 0 or (ph.ramp_to is not None and ph.ramp_to < 0):
+                raise ValueError("phase multiplier must be >= 0")
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def constant(cls, rate_per_sec: float) -> "RateSchedule":
+        return cls(rate_per_sec)
+
+    @classmethod
+    def burst(
+        cls,
+        base_rate_per_sec: float,
+        burst_multiplier: float,
+        period_ns: int,
+        duty: float = 0.2,
+    ) -> "RateSchedule":
+        """Square-wave bursts: ``duty`` of each period at the burst rate."""
+        if not 0.0 < duty < 1.0:
+            raise ValueError("duty must be in (0, 1)")
+        on = max(1, int(period_ns * duty))
+        off = max(1, period_ns - on)
+        return cls(
+            base_rate_per_sec,
+            phases=(
+                RatePhase(on, burst_multiplier),
+                RatePhase(off, 1.0),
+            ),
+        )
+
+    @classmethod
+    def ramp(
+        cls,
+        start_rate_per_sec: float,
+        end_multiplier: float,
+        ramp_ns: int,
+    ) -> "RateSchedule":
+        """Linear ramp to ``end_multiplier``x, then hold."""
+        return cls(
+            start_rate_per_sec,
+            phases=(RatePhase(ramp_ns, 1.0, ramp_to=end_multiplier),),
+            repeat=False,
+        )
+
+    @classmethod
+    def diurnal(
+        cls,
+        base_rate_per_sec: float,
+        peak_multiplier: float,
+        period_ns: int,
+        steps: int = 12,
+    ) -> "RateSchedule":
+        """Sinusoidal day/night cycle, discretized into ``steps`` plateaus.
+
+        Multipliers swing between 1.0 (trough) and ``peak_multiplier``.
+        """
+        if steps < 2:
+            raise ValueError("need at least two steps")
+        amp = (peak_multiplier - 1.0) / 2.0
+        mid = 1.0 + amp
+        dur = max(1, period_ns // steps)
+        phases = tuple(
+            RatePhase(dur, mid + amp * math.sin(2 * math.pi * i / steps))
+            for i in range(steps)
+        )
+        return cls(base_rate_per_sec, phases=phases)
+
+    @classmethod
+    def for_users(
+        cls,
+        users: int,
+        requests_per_user_per_sec: float,
+        **burst_kwargs: Any,
+    ) -> "RateSchedule":
+        """Aggregate rate for a user population (e.g. 2M users x 0.05 rps).
+
+        With ``burst_kwargs`` (``burst_multiplier``, ``period_ns``,
+        ``duty``) the population's load is bursty; otherwise constant.
+        """
+        rate = users * requests_per_user_per_sec
+        if burst_kwargs:
+            return cls.burst(rate, **burst_kwargs)
+        return cls(rate)
+
+    # -- sampling ----------------------------------------------------------
+    @property
+    def cycle_ns(self) -> int:
+        return sum(ph.duration_ns for ph in self.phases)
+
+    @property
+    def peak_rate_per_sec(self) -> float:
+        peak = 1.0
+        for ph in self.phases:
+            peak = max(peak, ph.multiplier)
+            if ph.ramp_to is not None:
+                peak = max(peak, ph.ramp_to)
+        return self.base_rate_per_sec * peak
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.phases or all(
+            ph.multiplier == 1.0 and ph.ramp_to in (None, 1.0)
+            for ph in self.phases
+        )
+
+    def rate_at(self, t_ns: int) -> float:
+        """Instantaneous rate ``t_ns`` after the generator started."""
+        if not self.phases:
+            return self.base_rate_per_sec
+        cycle = self.cycle_ns
+        if self.repeat:
+            t_ns = t_ns % cycle
+        elif t_ns >= cycle:
+            last = self.phases[-1]
+            return self.base_rate_per_sec * last.multiplier_at(1.0)
+        for ph in self.phases:
+            if t_ns < ph.duration_ns:
+                return self.base_rate_per_sec * ph.multiplier_at(
+                    t_ns / ph.duration_ns
+                )
+            t_ns -= ph.duration_ns
+        last = self.phases[-1]  # pragma: no cover - t_ns < cycle above
+        return self.base_rate_per_sec * last.multiplier_at(1.0)
+
+    def mean_rate_per_sec(self) -> float:
+        """Time-averaged rate over one cycle (ramps averaged linearly)."""
+        if not self.phases:
+            return self.base_rate_per_sec
+        weighted = 0.0
+        for ph in self.phases:
+            mult = (
+                ph.multiplier
+                if ph.ramp_to is None
+                else (ph.multiplier + ph.ramp_to) / 2.0
+            )
+            weighted += mult * ph.duration_ns
+        return self.base_rate_per_sec * weighted / self.cycle_ns
+
+
+# ---------------------------------------------------------------------------
+# Latency bookkeeping shared by both client classes
+# ---------------------------------------------------------------------------
+
 class _LatencyBook:
     def __init__(self, kernel: Kernel, warmup_ns: int):
         self.kernel = kernel
@@ -39,9 +238,16 @@ class _LatencyBook:
         self.latencies_us: list[float] = []
         self.completed = 0
 
+    def in_measured_window(self) -> bool:
+        """True once the warmup window has elapsed (boundary inclusive)."""
+        return self.kernel.now - self.kernel.start_time >= self.warmup_ns
+
     def record(self, arrival_ns: int) -> None:
         now = self.kernel.now
-        if now - self.kernel.start_time > self.warmup_ns:
+        # >= so a completion landing exactly at the warmup boundary counts;
+        # the same predicate gates sent_measured in the client classes, so
+        # offered load and goodput share one measured window.
+        if now - self.kernel.start_time >= self.warmup_ns:
             self.latencies_us.append((now - arrival_ns) / 1e3)
             self.completed += 1
 
@@ -56,6 +262,11 @@ class ClosedLoopClients:
     the server must call :meth:`complete` exactly once per request.
     ``payload_fn`` draws the request payload (request kind, key, ...).
     """
+
+    # Floor on the initial stagger window: ~1 us of spread per connection,
+    # so a tiny think time cannot arm the whole population at t=0 (a
+    # thundering herd no real client fleet produces).
+    _MIN_STAGGER_PER_CONN_NS = 1_000
 
     def __init__(
         self,
@@ -79,15 +290,32 @@ class ClosedLoopClients:
         self.rng = kernel.rng_streams.stream(rng_name)
         self.book = _LatencyBook(kernel, warmup_ns)
         self.sent = 0
+        self.sent_measured = 0
 
     def start(self) -> None:
-        """Arm every connection with a staggered first request."""
+        """Arm every connection with a staggered first request.
+
+        The stagger window is at least one mean think time *and* at least
+        ``_MIN_STAGGER_PER_CONN_NS`` per connection — with a small think
+        time the old ``integers(0, think_ns)`` draw armed every connection
+        at (nearly) the same instant.  One draw per connection, in
+        connection order, exactly as before, so RNG consumption (and
+        therefore every downstream draw) is unchanged whenever
+        ``think_ns`` already dominates.
+        """
+        spread = max(
+            1,
+            self.think_ns,
+            self.connections * self._MIN_STAGGER_PER_CONN_NS,
+        )
         for conn in range(self.connections):
-            self._arm(conn, int(self.rng.integers(0, max(1, self.think_ns))))
+            self._arm(conn, int(self.rng.integers(0, spread)))
 
     def _arm(self, conn: int, delay_ns: int) -> None:
         def fire():
             self.sent += 1
+            if self.book.in_measured_window():
+                self.sent_measured += 1
             self.submit(
                 ClientRequest(
                     conn, self.kernel.now, self.payload_fn(self.rng)
@@ -110,43 +338,86 @@ class ClosedLoopClients:
         return self.book.summary()
 
     def throughput_ops(self, measured_ns: int) -> float:
+        """Goodput: post-warmup completions over the measured window."""
         return self.book.completed / (measured_ns / 1e9)
+
+    def offered_ops(self, measured_ns: int) -> float:
+        """Offered load: post-warmup sends over the same window."""
+        return self.sent_measured / (measured_ns / 1e9)
 
 
 class OpenLoopClients:
-    """Poisson arrivals at ``rate_per_sec``, independent of completions."""
+    """Poisson arrivals, independent of completions.
+
+    ``rate`` is either requests/second (homogeneous Poisson) or a
+    :class:`RateSchedule` (modulated Poisson via Lewis-Shedler thinning:
+    candidate gaps are drawn at the schedule's peak rate and accepted with
+    probability ``rate(t)/peak``, which preserves determinism for any
+    profile shape).
+    """
 
     def __init__(
         self,
         kernel: Kernel,
         submit: Callable[[ClientRequest], None],
-        rate_per_sec: float,
+        rate_per_sec: float | RateSchedule | None = None,
         payload_fn: Callable[[np.random.Generator], Any] | None = None,
         warmup_ns: int = 0,
         rng_name: str = "loadgen-open",
+        schedule: RateSchedule | None = None,
     ):
-        if rate_per_sec <= 0:
-            raise ValueError("rate must be positive")
+        if schedule is not None and rate_per_sec is not None:
+            raise ValueError("pass rate_per_sec or schedule, not both")
+        if schedule is None:
+            if isinstance(rate_per_sec, RateSchedule):
+                schedule = rate_per_sec
+            else:
+                if rate_per_sec is None or rate_per_sec <= 0:
+                    raise ValueError("rate must be positive")
+                schedule = RateSchedule(float(rate_per_sec))
         self.kernel = kernel
         self.submit = submit
-        self.mean_gap_ns = 1e9 / rate_per_sec
+        self.schedule = schedule
         self.payload_fn = payload_fn or (lambda rng: None)
         self.rng = kernel.rng_streams.stream(rng_name)
         self.book = _LatencyBook(kernel, warmup_ns)
         self.sent = 0
+        self.sent_measured = 0
         self._conn = 0
         self._stopped = False
+        self._t0 = 0
+        # Constant schedules keep the direct single-draw path (identical
+        # RNG consumption to the pre-schedule implementation).
+        self._constant = schedule.is_constant
+        self._peak_gap_ns = 1e9 / schedule.peak_rate_per_sec
+        self._peak_rate = schedule.peak_rate_per_sec
+
+    @property
+    def mean_gap_ns(self) -> float:
+        return 1e9 / self.schedule.mean_rate_per_sec()
 
     def start(self) -> None:
+        self._t0 = self.kernel.now
         self._schedule_next()
 
     def stop(self) -> None:
+        """Halt arrivals; idempotent (extra calls are no-ops)."""
         self._stopped = True
 
     def _schedule_next(self) -> None:
         if self._stopped:
             return
-        gap = int(self.rng.exponential(self.mean_gap_ns))
+        if self._constant:
+            gap = int(self.rng.exponential(self._peak_gap_ns))
+        else:
+            # Lewis-Shedler thinning against the peak rate.
+            gap = 0
+            while True:
+                gap += max(1, int(self.rng.exponential(self._peak_gap_ns)))
+                t_rel = self.kernel.now + gap - self._t0
+                rate = self.schedule.rate_at(t_rel)
+                if self.rng.random() * self._peak_rate <= rate:
+                    break
         self.kernel.engine.schedule(max(1, gap), self._fire)
 
     def _fire(self) -> None:
@@ -154,6 +425,8 @@ class OpenLoopClients:
             return
         self._conn += 1
         self.sent += 1
+        if self.book.in_measured_window():
+            self.sent_measured += 1
         self.submit(
             ClientRequest(self._conn, self.kernel.now, self.payload_fn(self.rng))
         )
@@ -168,3 +441,11 @@ class OpenLoopClients:
 
     def latency_summary(self) -> LatencySummary:
         return self.book.summary()
+
+    def throughput_ops(self, measured_ns: int) -> float:
+        """Goodput: post-warmup completions over the measured window."""
+        return self.book.completed / (measured_ns / 1e9)
+
+    def offered_ops(self, measured_ns: int) -> float:
+        """Offered load: post-warmup sends over the same window."""
+        return self.sent_measured / (measured_ns / 1e9)

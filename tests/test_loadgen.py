@@ -12,6 +12,8 @@ from repro.workloads.loadgen import (
     ClientRequest,
     ClosedLoopClients,
     OpenLoopClients,
+    RatePhase,
+    RateSchedule,
 )
 
 MS = 1_000_000
@@ -114,3 +116,129 @@ def test_open_loop_stop_halts_arrivals():
     count = len(fired)
     k.run_for(20 * MS)
     assert len(fired) == count
+
+
+def test_open_loop_stop_idempotent():
+    k = Kernel(vanilla_config(cores=1, seed=4))
+    fired = []
+    clients = OpenLoopClients(
+        k, lambda r: fired.append(r), rate_per_sec=10_000
+    )
+    clients.start()
+    k.run_for(10 * MS)
+    clients.stop()
+    clients.stop()  # extra calls are no-ops, not errors
+    count = len(fired)
+    k.run_for(10 * MS)
+    clients.stop()
+    assert len(fired) == count
+
+
+def test_warmup_boundary_inclusive():
+    # A completion landing exactly at the warmup boundary is measured
+    # (the old `>` predicate dropped it).
+    k = Kernel(vanilla_config(cores=1, seed=5))
+    clients = OpenLoopClients(
+        k, lambda r: None, rate_per_sec=1_000, warmup_ns=10 * MS
+    )
+    k.engine.schedule(10 * MS - 1, lambda: clients.book.record(k.now))
+    k.engine.schedule(10 * MS, lambda: clients.book.record(k.now - 5 * US))
+    k.run_for(20 * MS)
+    k.shutdown()
+    assert clients.completed == 1
+    assert clients.book.latencies_us == [5.0]
+
+
+def test_closed_loop_start_staggered():
+    # With a tiny think time the old stagger draw armed every connection
+    # at (nearly) the same instant; the floor spreads first sends over
+    # >= 1 us per connection.
+    k = Kernel(vanilla_config(cores=1, seed=8))
+    times = []
+    clients = ClosedLoopClients(
+        k, lambda r: times.append(r.arrival_ns), connections=64, think_ns=1
+    )
+    clients.start()
+    k.run_for(1 * MS)
+    k.shutdown()
+    assert len(times) == 64
+    assert len(set(times)) > 32
+    assert max(times) - min(times) >= 30 * US
+
+
+# ---------------------------------------------------------------------------
+# RateSchedule
+# ---------------------------------------------------------------------------
+
+def test_rate_schedule_validation():
+    with pytest.raises(ValueError):
+        RateSchedule(0)
+    with pytest.raises(ValueError):
+        RateSchedule.burst(1_000, 3.0, period_ns=10 * MS, duty=1.5)
+    with pytest.raises(ValueError):
+        RateSchedule.diurnal(1_000, 3.0, period_ns=12 * MS, steps=1)
+    with pytest.raises(ValueError):
+        RateSchedule(1_000, phases=(RatePhase(duration_ns=0),))
+    with pytest.raises(ValueError):
+        RateSchedule(1_000, phases=(RatePhase(duration_ns=1,
+                                              multiplier=-0.5),))
+
+
+def test_rate_schedule_shapes():
+    s = RateSchedule.burst(100_000, 3.0, period_ns=10 * MS, duty=0.2)
+    assert not s.is_constant
+    assert s.peak_rate_per_sec == pytest.approx(300_000.0)
+    assert s.rate_at(0) == pytest.approx(300_000.0)
+    assert s.rate_at(5 * MS) == pytest.approx(100_000.0)
+    assert s.rate_at(10 * MS) == pytest.approx(300_000.0)  # cycles
+    assert s.mean_rate_per_sec() == pytest.approx(140_000.0)
+
+    r = RateSchedule.ramp(1_000, 2.0, ramp_ns=10 * MS)
+    assert r.rate_at(20 * MS) == pytest.approx(2_000.0)  # holds after ramp
+    assert r.mean_rate_per_sec() == pytest.approx(1_500.0)
+
+    d = RateSchedule.diurnal(1_000, 3.0, period_ns=12 * MS)
+    rates = [d.rate_at(i * MS) for i in range(12)]
+    assert max(rates) <= 3_000.0 + 1e-6
+    assert min(rates) >= 1_000.0 - 1e-6
+    assert d.mean_rate_per_sec() == pytest.approx(2_000.0)
+
+    u = RateSchedule.for_users(2_000_000, 0.05)
+    assert u.is_constant
+    assert u.base_rate_per_sec == pytest.approx(100_000.0)
+    ub = RateSchedule.for_users(
+        2_000_000, 0.05, burst_multiplier=2.0, period_ns=10 * MS
+    )
+    assert ub.peak_rate_per_sec == pytest.approx(200_000.0)
+
+
+def test_open_loop_burst_schedule_rate_accuracy():
+    # Lewis-Shedler thinning must deliver the schedule's *mean* rate.
+    k = Kernel(vanilla_config(cores=1, seed=6))
+    sched = RateSchedule.burst(50_000, 3.0, period_ns=10 * MS, duty=0.2)
+    clients = OpenLoopClients(k, lambda r: None, rate_per_sec=sched)
+    clients.start()
+    k.run_for(200 * MS)
+    clients.stop()
+    k.shutdown()
+    expected = sched.mean_rate_per_sec() * 0.2  # 200 ms horizon
+    assert clients.sent == pytest.approx(expected, rel=0.1)
+
+
+def test_open_loop_schedule_deterministic():
+    def run():
+        k = Kernel(vanilla_config(cores=1, seed=7))
+        times = []
+        clients = OpenLoopClients(
+            k, lambda r: times.append((r.conn, r.arrival_ns)),
+            rate_per_sec=RateSchedule.burst(20_000, 2.0, period_ns=5 * MS),
+        )
+        clients.start()
+        k.run_for(50 * MS)
+        clients.stop()
+        k.shutdown()
+        return times
+
+    first = run()
+    assert first == run()
+    assert len(first) > 100
