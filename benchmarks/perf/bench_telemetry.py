@@ -1,0 +1,89 @@
+"""Schedstats overhead benchmark: the always-on telemetry tax.
+
+Runs the same scheduler-heavy load as ``bench_kernel`` twice in-process —
+once with the kernel's ``SCHEDSTATS`` counters on (the shipped default)
+and once with them compiled out — and reports the relative throughput
+cost.  The perf gate holds the overhead at <= 5% (ROADMAP/ISSUE budget):
+schedstats are maintained incrementally on state transitions, and the
+switch path defers both the PSI pair and the depth integral (they are
+net-zero across a switch), so the tax must stay a few branch-and-adds
+per event.
+
+Metric: ``overhead_pct``, estimated as the median of per-pair A/B/B/A
+ratios.  Shared runners drift in effective CPU speed on second-to-second
+scales — far more than the effect being measured — so each sample runs
+off/on/on/off back-to-back (linear drift cancels within a sample) and
+the median over many samples discards frequency-step outliers.  The
+comparison is self-relative, so the gate is robust to absolute machine
+speed, unlike a throughput floor.
+"""
+
+from __future__ import annotations
+
+import time
+
+from common import bootstrap
+
+bootstrap()
+
+from repro.config import vanilla_config  # noqa: E402
+from repro.kernel import kernel as kernel_mod  # noqa: E402
+from repro.kernel.kernel import Kernel  # noqa: E402
+from repro.prog import actions as A  # noqa: E402
+
+_CORES = 8
+_TASKS = 32
+_COMPUTE_NS = 20_000  # short bursts -> high event rate
+
+
+def _program(iters: int):
+    for _ in range(iters):
+        yield A.Compute(_COMPUTE_NS)
+        yield A.Yield()
+
+
+def _simulate(iters_per_task: int):
+    kernel = Kernel(vanilla_config(cores=_CORES, seed=2021))
+    for i in range(_TASKS):
+        kernel.spawn(_program(iters_per_task), name=f"spin{i}")
+    kernel.run_to_completion()
+    return kernel.engine.events_run
+
+
+def _timed(iters: int, schedstats: bool) -> float:
+    """Seconds of CPU per engine event with SCHEDSTATS as given."""
+    saved = kernel_mod.SCHEDSTATS
+    kernel_mod.SCHEDSTATS = schedstats
+    try:
+        t0 = time.process_time()
+        events = _simulate(iters)
+        t1 = time.process_time()
+    finally:
+        kernel_mod.SCHEDSTATS = saved
+    return (t1 - t0) / events
+
+
+def run(quick: bool = False, pairs: int = 16) -> dict:
+    iters = 60 if quick else 150
+    _simulate(50)  # warm allocator/bytecode caches before timing
+    ratios = []
+    on_cost = off_cost = 0.0
+    for _ in range(pairs):
+        a1 = _timed(iters, False)
+        b1 = _timed(iters, True)
+        b2 = _timed(iters, True)
+        a2 = _timed(iters, False)
+        ratios.append((b1 + b2) / (a1 + a2))
+        off_cost += a1 + a2
+        on_cost += b1 + b2
+    ratios.sort()
+    median = ratios[len(ratios) // 2]
+    return {
+        "events_per_s_on": round(2 * pairs / on_cost, 1),
+        "events_per_s_off": round(2 * pairs / off_cost, 1),
+        "overhead_pct": round(100.0 * (median - 1.0), 2),
+    }
+
+
+if __name__ == "__main__":
+    print(run(quick=True))

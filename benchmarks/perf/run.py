@@ -37,6 +37,7 @@ import bench_engine  # noqa: E402
 import bench_kernel  # noqa: E402
 import bench_loadgen  # noqa: E402
 import bench_runqueue  # noqa: E402
+import bench_telemetry  # noqa: E402
 
 BASELINE_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                              "baseline.json")
@@ -48,7 +49,12 @@ _BENCHES = {
     "kernel": bench_kernel,
     "loadgen": bench_loadgen,
     "endtoend": bench_endtoend,
+    "telemetry": bench_telemetry,
 }
+
+#: Hard ceiling on the always-on schedstats tax (self-relative A/B in
+#: bench_telemetry, so no baseline entry is involved).
+SCHEDSTATS_OVERHEAD_LIMIT_PCT = 5.0
 
 
 def collect(quick: bool) -> dict:
@@ -83,6 +89,15 @@ def check_baseline(report: dict, tolerance: float) -> list[str]:
         problems.append(
             f"engine throughput regression: {cur_tp:.0f} events/s < "
             f"{floor:.0f} (baseline {base_tp:.0f} - {tolerance:.0%})"
+        )
+
+    overhead = (report["benchmarks"].get("telemetry") or {}).get(
+        "overhead_pct")
+    if overhead is not None and overhead > SCHEDSTATS_OVERHEAD_LIMIT_PCT:
+        problems.append(
+            f"schedstats overhead too high: {overhead:.2f}% > "
+            f"{SCHEDSTATS_OVERHEAD_LIMIT_PCT:.1f}% (always-on telemetry "
+            f"must stay cheap; see bench_telemetry.py)"
         )
 
     base_e2e = baseline["benchmarks"]["endtoend"]

@@ -410,14 +410,16 @@ def cmd_suite(args) -> int:
     return 0
 
 
-def cmd_trace(args) -> int:
-    from .obs import observe
-    from .obs.export import write_artifacts
-    from .obs.timeline import render_sampler
+def _resolve_section_spec(args):
+    """Select one ExperimentSpec of a figure/table section.
+
+    Shared by ``repro trace`` / ``repro profile`` / ``repro top``.
+    Returns ``(params, spec)``, or an int exit code (0 after ``--list``,
+    2 on a bad section/spec selector).
+    """
     from .runners.full_report import (
         ReportParams, SECTIONS, resolve_scale,
     )
-    from .runners.parallel import execute_spec
 
     section = next((s for s in SECTIONS if s.key == args.section), None)
     if section is None:
@@ -446,6 +448,19 @@ def cmd_trace(args) -> int:
                   f"(0..{len(specs) - 1})", file=sys.stderr)
             return 2
         spec = specs[args.index]
+    return params, spec
+
+
+def cmd_trace(args) -> int:
+    from .obs import observe
+    from .obs.export import write_artifacts
+    from .obs.timeline import render_sampler
+    from .runners.parallel import execute_spec
+
+    resolved = _resolve_section_spec(args)
+    if isinstance(resolved, int):
+        return resolved
+    params, spec = resolved
 
     print(f"tracing {spec.id} (scale {params.scale}, seed {spec.seed})")
     with observe(sample_interval_us=args.sample_interval_us,
@@ -464,6 +479,63 @@ def cmd_trace(args) -> int:
                   for name, h in session.hists.items() if h.count})
     if session.samplers:
         print(render_sampler(session.samplers[0]))
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from .obs import observe
+    from .runners.parallel import execute_spec
+    from .telemetry import folded_stacks, render_folded, write_folded
+
+    resolved = _resolve_section_spec(args)
+    if isinstance(resolved, int):
+        return resolved
+    params, spec = resolved
+
+    print(f"profiling {spec.id} (scale {params.scale}, seed {spec.seed})",
+          file=sys.stderr)
+    with observe(capacity=args.capacity) as session:
+        execute_spec(spec.payload(), timeout_s=None)
+    rec = session.recorder
+    if rec.dropped:
+        print(f"warning: trace incomplete: {rec.dropped} events dropped — "
+              f"the profile covers only the surviving suffix of the run",
+              file=sys.stderr)
+    folded = folded_stacks(rec)
+    if args.out:
+        n = write_folded(args.out, folded)
+        print(f"{n} folded stacks -> {args.out} "
+              f"(flamegraph.pl / speedscope 'folded' input)")
+    else:
+        print(render_folded(folded), end="")
+    return 0
+
+
+def cmd_top(args) -> int:
+    from .obs import observe
+    from .runners.parallel import execute_spec
+    from .telemetry import render_top, session_telemetry
+
+    resolved = _resolve_section_spec(args)
+    if isinstance(resolved, int):
+        return resolved
+    params, spec = resolved
+
+    print(f"sampling {spec.id} (scale {params.scale}, seed {spec.seed}, "
+          f"every {args.sample_interval_us:g} us)", file=sys.stderr)
+    with observe(sample_interval_us=args.sample_interval_us) as session:
+        execute_spec(spec.payload(), timeout_s=None)
+    telemetry = session_telemetry(session)
+    if telemetry is None or not session.samplers:
+        print("no kernel ran for this spec — nothing to show",
+              file=sys.stderr)
+        return EXIT_FAILURE
+    primary = min(telemetry["primary"], len(session.samplers) - 1)
+    print(render_top(
+        session.samplers[primary].to_dict(),
+        telemetry["snapshots"][telemetry["primary"]],
+        frames=args.frames, width=args.width, top_n=args.top,
+    ))
     return 0
 
 
@@ -745,33 +817,69 @@ def build_parser() -> argparse.ArgumentParser:
     _add_seed(p)
     p.set_defaults(fn=cmd_suite)
 
+    def _add_section_spec_flags(sp: argparse.ArgumentParser,
+                                verb: str) -> None:
+        sp.add_argument("section",
+                        help=f"figure/table key, e.g. fig01 (see `repro "
+                             f"{verb} fig01 --list`)")
+        sp.add_argument("--list", action="store_true",
+                        help="list the section's experiment specs and exit")
+        sp.add_argument("--index", type=int, default=0,
+                        help=f"which spec of the section to {verb} "
+                             f"(default 0)")
+        sp.add_argument("--spec-id", default=None,
+                        help="select the spec by id instead of --index")
+        sp.add_argument("--quick", action="store_true",
+                        help="use the quick workload scale")
+        _add_scale(sp, default=None)
+        _add_seed(sp)
+
     p = sub.add_parser(
         "trace",
         help="re-run one experiment of a figure/table with full "
              "observability and ship its trace artifacts",
     )
-    p.add_argument("section",
-                   help="figure/table key, e.g. fig01 (see `repro trace "
-                        "fig01 --list`)")
-    p.add_argument("--list", action="store_true",
-                   help="list the section's experiment specs and exit")
-    p.add_argument("--index", type=int, default=0,
-                   help="which spec of the section to trace (default 0)")
-    p.add_argument("--spec-id", default=None,
-                   help="select the spec by id instead of --index")
+    _add_section_spec_flags(p, "trace")
     p.add_argument("--out", default="trace", metavar="BASE",
                    help="artifact base name (default 'trace' -> "
                         "trace.jsonl + trace.chrome.json)")
-    p.add_argument("--quick", action="store_true",
-                   help="use the quick workload scale")
     p.add_argument("--sample-interval-us", type=float, default=100.0,
                    metavar="US",
                    help="interval-sampler period (default 100 us)")
     p.add_argument("--capacity", type=int, default=None,
                    help="trace ring-buffer capacity (events)")
-    _add_scale(p, default=None)
-    _add_seed(p)
     p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser(
+        "profile",
+        help="re-run one experiment and fold its trace into on-/off-CPU "
+             "stacks (flamegraph.pl / speedscope 'folded' input)",
+    )
+    _add_section_spec_flags(p, "profile")
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="write the folded stacks here instead of stdout")
+    p.add_argument("--capacity", type=int, default=None,
+                   help="trace ring-buffer capacity (events)")
+    p.set_defaults(fn=cmd_profile)
+
+    p = sub.add_parser(
+        "top",
+        help="re-run one experiment and render a top-style replay: "
+             "per-CPU utilization bars, runqueue depths, PSI pressure, "
+             "and the top tasks by wait time",
+    )
+    _add_section_spec_flags(p, "top")
+    p.add_argument("--sample-interval-us", type=float, default=100.0,
+                   metavar="US",
+                   help="sampling period of the replayed frames "
+                        "(default 100 us)")
+    p.add_argument("--frames", type=int, default=4,
+                   help="number of frames across the run (default 4)")
+    p.add_argument("--width", type=int, default=40,
+                   help="utilization bar width (default 40)")
+    p.add_argument("--top", type=int, default=8, metavar="N",
+                   help="rows in the top-tasks table (default 8)")
+    p.set_defaults(fn=cmd_top)
 
     p = sub.add_parser(
         "analyze", help="summarize a JSONL trace produced by --trace/trace"

@@ -50,6 +50,13 @@ from .locks import SimLockTimeline
 from .runqueue import CfsRunqueue
 from .task import ExecProfile, RunMode, Task, TaskState
 
+# Always-on schedstats (PSI counts, runqueue-depth integrals, per-CPU
+# switch counters).  Collection is pure O(1) integer accounting with no
+# RNG draws and no engine events, so digests are unaffected either way;
+# the flag exists so benchmarks/perf/bench_telemetry.py can measure the
+# overhead delta and the perf gate can hold it under budget.
+SCHEDSTATS = True
+
 
 class CpuState:
     """Per-CPU scheduler state and accounting."""
@@ -73,6 +80,7 @@ class CpuState:
         "poll_idle_since",
         "last_task",
         "online",
+        "nr_switches",
     )
 
     def __init__(self, cpu_id: int, info) -> None:
@@ -94,6 +102,7 @@ class CpuState:
         self.poll_idle_since: int | None = None
         self.last_task: Task | None = None
         self.online = True
+        self.nr_switches = 0  # schedstats: context switches on this CPU
 
 
 class Kernel:
@@ -151,6 +160,28 @@ class Kernel:
             if sib is not None and sib < len(self.cpus):
                 cpu.sib = self.cpus[sib]
         self._smt_factor = hw.smt_throughput_factor
+
+        # Schedstats + PSI-style pressure accounting (docs/telemetry.md).
+        # ``psi_waiting``/``psi_running`` track runnable-not-running and
+        # running task counts; some/full stall time integrates over them.
+        self._schedstats = SCHEDSTATS
+        self.psi_waiting = 0
+        self.psi_running = 0
+        self._psi_pending = False  # deferred +1w/-1r from _put_prev_runnable
+        self.psi_some_ns = 0
+        self.psi_full_ns = 0
+        self._psi_last = self.engine.now
+        self._psi_bucket_ns = 10_000_000  # checkpoint cadence (10 ms)
+        self._psi_next_ckpt = self.engine.now + self._psi_bucket_ns
+        self._psi_checkpoints: list[tuple[int, int, int]] = []
+        # Machine-wide runqueue-depth integral (Σ nr_running · dt).  The
+        # total only changes at spawn/exit/sleep-park/vanilla-wake —
+        # context switches, migrations and VB requeues move tasks between
+        # queues but are net-zero — so maintaining it here costs nothing
+        # on the switch path, unlike a per-runqueue integral would.
+        self.rq_depth_integral_ns = 0
+        self._rqd_total = 0
+        self._rqd_at = self.engine.now
 
         self.futex_table = FutexTable()
         self.vb_policy = VirtualBlockingPolicy(config.vb)
@@ -284,6 +315,9 @@ class Kernel:
         cpu = self.cpus[target]
         task.vruntime = cpu.rq.min_vruntime
         task.set_state(TaskState.RUNNABLE, self.now)
+        if self._schedstats:
+            self._depth_delta(self.now, 1)
+            self._psi_transition(self.now, 1, 0)
         task.last_cpu = target
         cpu.rq.enqueue(task)
         self._check_preempt(cpu, task)
@@ -336,6 +370,82 @@ class Kernel:
             self._obs_reported = True
 
     # ------------------------------------------------------------------
+    # PSI-style pressure accounting (schedstats)
+    # ------------------------------------------------------------------
+    def _psi_update(self, now: int) -> None:
+        """Integrate some/full stall time up to ``now``, emitting exact
+        cumulative checkpoints at every 10 ms bucket boundary crossed."""
+        last = self._psi_last
+        if now <= last:
+            return
+        waiting = self.psi_waiting > 0
+        if now < self._psi_next_ckpt:
+            # Fast path: no bucket boundary crossed (checkpoints are
+            # every 10 ms; transitions every few us under load).
+            if waiting:
+                dt = now - last
+                self.psi_some_ns += dt
+                if self.psi_running == 0:
+                    self.psi_full_ns += dt
+            self._psi_last = now
+            return
+        full = waiting and self.psi_running == 0
+        nxt = self._psi_next_ckpt
+        while nxt <= now:
+            if waiting:
+                dt = nxt - last
+                self.psi_some_ns += dt
+                if full:
+                    self.psi_full_ns += dt
+            last = nxt
+            self._psi_checkpoints.append(
+                (nxt, self.psi_some_ns, self.psi_full_ns)
+            )
+            nxt += self._psi_bucket_ns
+        self._psi_next_ckpt = nxt
+        if waiting:
+            dt = now - last
+            self.psi_some_ns += dt
+            if full:
+                self.psi_full_ns += dt
+        self._psi_last = now
+
+    def _psi_transition(self, now: int, d_wait: int, d_run: int) -> None:
+        # ``_psi_update`` integrates purely from the predicates
+        # ``waiting > 0`` and ``running == 0``; while neither flips, the
+        # counters may change freely with no time accounting, and its
+        # checkpoint loop handles arbitrarily long constant spans.  So
+        # only predicate flips pay for an update — the call per
+        # transition is measurable at engine event rates
+        # (benchmarks/perf/bench_telemetry.py).
+        w = self.psi_waiting
+        r = self.psi_running
+        nw = w + d_wait
+        nr = r + d_run
+        if (nw > 0) != (w > 0) or (nr == 0) != (r == 0):
+            self._psi_update(now)
+        self.psi_waiting = nw
+        self.psi_running = nr
+
+    def _psi_flush(self, now: int) -> None:
+        """Apply a deferred _put_prev_runnable transition when _schedule
+        exits without dispatching (offline CPU, failed idle pull, or an
+        all-VB-blocked queue polling idle)."""
+        if self._psi_pending:
+            self._psi_pending = False
+            self._psi_transition(now, 1, -1)
+
+    def _depth_delta(self, now: int, delta: int) -> None:
+        """Fold the span since the last total-``nr_running`` change into
+        the machine-wide depth integral, then apply the change.  Readers
+        settle the integral to "now" with ``delta=0``."""
+        dt = now - self._rqd_at
+        if dt:
+            self.rq_depth_integral_ns += dt * self._rqd_total
+            self._rqd_at = now
+        self._rqd_total += delta
+
+    # ------------------------------------------------------------------
     # Elasticity: runtime CPU reconfiguration
     # ------------------------------------------------------------------
     def set_online_cpus(self, n: int) -> None:
@@ -363,6 +473,10 @@ class Kernel:
                 task.set_state(TaskState.RUNNABLE, self.now)
                 task.stats.nr_switches += 1
                 task.stats.nr_involuntary += 1
+                if self._schedstats:
+                    # Depth integral: net-zero — the task re-enqueues on
+                    # a surviving CPU via _migrate_into below.
+                    self._psi_transition(self.now, 1, -1)
                 cpu.rq.curr = None
                 evicted.append(task)
             while cpu.rq.nr_queued:
@@ -440,13 +554,15 @@ class Kernel:
     def _schedule(self, cpu: CpuState) -> None:
         """Pick the next task for an idle CPU (rq.curr must be None)."""
         assert cpu.rq.curr is None
-        if not cpu.online:
-            return
         now = self.engine.now
+        if not cpu.online:
+            self._psi_flush(now)
+            return
         head = cpu.rq.peek_next()
         if head is None:
             pulled = self._idle_pull(cpu)
             if pulled is None:
+                self._psi_flush(now)
                 self._cancel_cpu_event(cpu)
                 return
             head = pulled
@@ -455,6 +571,7 @@ class Kernel:
             # Every queued task is virtually blocked: the CPU cycles through
             # them polling thread_state (Section 3.1).  Modeled as poll-idle:
             # the wake path charges the expected poll latency.
+            self._psi_flush(now)
             self.vb_policy.stats.all_blocked_polls += 1
             if cpu.poll_idle_since is None:
                 cpu.poll_idle_since = now
@@ -472,6 +589,18 @@ class Kernel:
             delay += sched.context_switch_ns
             cpu.sched_ns += sched.context_switch_ns
             task.stats.nr_switches += 1
+            cpu.nr_switches += 1
+        if self._schedstats:  # inline _psi_transition (hot path)
+            if self._psi_pending:
+                # Cancels the deferred transition from
+                # _put_prev_runnable at this same timestamp.
+                self._psi_pending = False
+            else:
+                w = self.psi_waiting
+                if w == 1 or self.psi_running == 0:
+                    self._psi_update(now)
+                self.psi_waiting = w - 1
+                self.psi_running += 1
         if task.pending_penalty_ns:
             # Cache/TLB refill after a migration: the core stalls on memory
             # (counted separately so utilization reflects lost capacity).
@@ -623,6 +752,7 @@ class Kernel:
                 self._complete_action(cpu, task)
             return
         if now >= cpu.slice_end:
+            task.stats.nr_slice_expiries += 1
             head = cpu.rq.peek_next()
             if head is not None and not head.thread_state:
                 # Involuntary preemption at slice expiry.
@@ -645,7 +775,17 @@ class Kernel:
     def _put_prev_runnable(self, cpu: CpuState) -> None:
         task = cpu.rq.curr
         assert task is not None
-        task.set_state(TaskState.RUNNABLE, self.engine.now)
+        now = self.engine.now
+        task.set_state(TaskState.RUNNABLE, now)
+        if self._schedstats:
+            # Defer the (+1 waiting, -1 running) transition: every
+            # caller follows with _schedule at this same timestamp,
+            # whose dispatch applies the exact inverse — net-zero on
+            # the counters, and the transient state lasts zero time.
+            # Only _schedule's no-dispatch exits pay it (_psi_flush).
+            # Depth integral: also net-zero — the task re-enqueues on
+            # this same runqueue just below.
+            self._psi_pending = True
         cpu.rq.curr = None
         cpu.last_task = task
         cpu.rq.enqueue(task)
@@ -681,6 +821,9 @@ class Kernel:
         task.exited_at = now
         task.cpu = None
         self.live_tasks -= 1
+        if self._schedstats:
+            self._depth_delta(now, -1)
+            self._psi_transition(now, 0, -1)
         cpu.rq.curr = None
         cpu.last_task = task
         if self.trace.enabled:
@@ -895,6 +1038,10 @@ class Kernel:
         now = self.engine.now
         task.stats.nr_voluntary += 1
         task.stats.nr_switches += 1
+        if self._schedstats:
+            if kind != "vb":  # VB keeps the task queued: depth unchanged
+                self._depth_delta(now, -1)
+            self._psi_transition(now, 0, -1)
         cpu.rq.curr = None
         cpu.last_task = task
         if kind == "vb":
@@ -932,6 +1079,7 @@ class Kernel:
         bucket.waiters.append(task)
         bucket.total_waits += 1
         task.stats.nr_blocks += 1
+        task.stats.nr_futex_waits += 1
         if self.trace.enabled:
             self.trace.emit(
                 self.engine.now, "futex-wait",
@@ -1213,6 +1361,9 @@ class Kernel:
             blocked_ns = 0
         self._h_block.record(blocked_ns)
         task.set_state(TaskState.RUNNABLE, now)
+        if self._schedstats:
+            self._depth_delta(now, 1)  # sleeping -> queued
+            self._psi_transition(now, 1, 0)
         task.block_kind = None
         task.wake_completed = True
         task.woken_at = now
@@ -1250,6 +1401,8 @@ class Kernel:
             blocked_ns = 0
         self._h_block.record(blocked_ns)
         task.set_state(TaskState.RUNNABLE, now)
+        if self._schedstats:
+            self._psi_transition(now, 1, 0)
         task.block_kind = None
         task.wake_completed = True
         task.woken_at = now
@@ -1300,6 +1453,8 @@ class Kernel:
             blocked_ns = 0
         self._h_block.record(blocked_ns)
         task.set_state(TaskState.RUNNABLE, now)
+        if self._schedstats:
+            self._psi_transition(now, 1, 0)
         task.block_kind = None
         task.wake_completed = True
         task.woken_at = now
@@ -1394,6 +1549,7 @@ class Kernel:
         self._sync_current(cpu)
         cpu.irq_ns += cost_ns
         task.stats.nr_involuntary += 1
+        task.stats.bwd_deschedules += 1
         if self.config.bwd.skip_flag:
             task.skip_flag = True
             # Skip semantics: place behind every queued runnable task.

@@ -60,6 +60,8 @@ class TaskStats:
     nr_migrations_cross_node: int = 0
     nr_wakeups: int = 0
     nr_blocks: int = 0
+    nr_slice_expiries: int = 0  # timeslice ran out (renewed or preempted)
+    nr_futex_waits: int = 0
     bwd_deschedules: int = 0
     wakeup_latency_ns: int = 0  # sum over wakeups: wake -> running
 

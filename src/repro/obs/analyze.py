@@ -23,18 +23,35 @@ def load_jsonl(path: str) -> tuple[dict[str, Any], list[TraceEvent]]:
     meta: dict[str, Any] = {}
     events: list[TraceEvent] = []
     with open(path, "r", encoding="utf-8") as fh:
-        for line in fh:
+        for lineno, line in enumerate(fh, start=1):
             line = line.strip()
             if not line:
                 continue
-            d = json.loads(line)
+            try:
+                d = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"line {lineno} is not JSON ({exc.msg}) — not a JSONL "
+                    "trace, or the file was truncated mid-write"
+                ) from exc
+            if not isinstance(d, dict):
+                raise ValueError(
+                    f"line {lineno} is valid JSON but not an object — "
+                    "not a trace file"
+                )
             if d.get("type") == "meta":
                 meta = d
                 continue
-            events.append(TraceEvent(
-                time=int(d["t"]), kind=d["kind"], cpu=int(d["cpu"]),
-                task=d.get("task"), detail=d.get("detail") or {},
-            ))
+            try:
+                events.append(TraceEvent(
+                    time=int(d["t"]), kind=d["kind"], cpu=int(d["cpu"]),
+                    task=d.get("task"), detail=d.get("detail") or {},
+                ))
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ValueError(
+                    f"line {lineno} is missing trace-event fields "
+                    f"({exc!r}) — not a trace written by repro"
+                ) from exc
     return meta, events
 
 
@@ -153,6 +170,10 @@ def render_analysis(
     if spec:
         head += f" [spec {spec}]"
     print(head, file=out)
+    if meta.get("dropped"):
+        print(f"warning: trace incomplete: {meta['dropped']} events "
+              "dropped — derived statistics cover only the surviving "
+              "suffix of the run", file=out)
     if not events:
         return
     span_ns = events[-1].time - events[0].time
@@ -221,6 +242,22 @@ def render_analysis(
 
 def analyze_file(path: str, out: TextIO | None = None,
                  bins: int = DEFAULT_WIDTH) -> int:
-    meta, events = load_jsonl(path)
+    """Analyze one trace file; returns a process exit code.
+
+    Unreadable, empty, or non-JSONL inputs produce a one-line error on
+    stderr and exit code 1 — never a traceback."""
+    try:
+        meta, events = load_jsonl(path)
+    except OSError as exc:
+        print(f"analyze: cannot read {path}: {exc.strerror or exc}",
+              file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"analyze: {path}: {exc}", file=sys.stderr)
+        return 1
+    if not meta and not events:
+        print(f"analyze: {path}: empty file — no trace meta or events "
+              "(was the trace written completely?)", file=sys.stderr)
+        return 1
     render_analysis(meta, events, out=out, bins=bins)
     return 0

@@ -196,3 +196,21 @@ class Log2Histogram:
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"<Log2Histogram {self.name} n={self.count} "
                 f"p50={self.percentile(50):.0f} max={self.max}>")
+
+
+def merge_histograms(
+    *collections: dict[str, Log2Histogram],
+) -> dict[str, Log2Histogram]:
+    """Combine per-CPU (or per-kernel) histogram dicts into run-level
+    ones, keyed by histogram name.  Inputs are flushed but not mutated;
+    the result holds fresh instances, so exporters can snapshot it
+    without racing pending batches."""
+    out: dict[str, Log2Histogram] = {}
+    for coll in collections:
+        for name, h in coll.items():
+            mine = out.get(name)
+            if mine is None:
+                mine = Log2Histogram(name)
+                out[name] = mine
+            mine.merge(h)
+    return out

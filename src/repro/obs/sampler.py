@@ -40,14 +40,21 @@ class Sampler:
         self.vb_blocked: list[int] = []
         self.bwd_deschedules: list[int] = []
         self.stall_delta_ns: list[int] = []
+        self.psi_some_ns: list[int] = []
+        self.psi_full_ns: list[int] = []
         self.truncated = 0
         self._prev_used = [0] * ncpus
         self._prev_stall = 0
         self._event = None
+        self._t0 = 0
 
     def start(self) -> None:
-        self._event = self.kernel.engine.schedule(self.interval_ns,
-                                                  self._tick)
+        # Samples are anchored to the grid t0 + k*interval (rearming via
+        # absolute times), so a long run keeps a stable cadence instead of
+        # drifting off whatever time the previous tick happened to fire at.
+        self._t0 = self.kernel.engine.now
+        self._event = self.kernel.engine.schedule_at(
+            self._t0 + self.interval_ns, self._tick)
 
     def stop(self) -> None:
         if self._event is not None:
@@ -86,7 +93,23 @@ class Sampler:
         self.bwd_deschedules.append(
             k.bwd.stats.deschedules if k.bwd is not None else 0
         )
-        self._event = k.engine.schedule(self.interval_ns, self._tick)
+        # PSI cumulative stall time, extended to ``now`` without flushing
+        # the kernel's accounting (read-only, like everything above).
+        # Exact even though the kernel only settles its clocks on
+        # predicate flips: since ``_psi_last`` both predicates were
+        # constant, so the extension is a straight line.
+        some = k.psi_some_ns
+        full = k.psi_full_ns
+        if k.psi_waiting > 0:
+            dt = now - k._psi_last
+            if dt > 0:
+                some += dt
+                if k.psi_running == 0:
+                    full += dt
+        self.psi_some_ns.append(some)
+        self.psi_full_ns.append(full)
+        self._event = k.engine.schedule_at(
+            self._t0 + (len(self.times) + 1) * self.interval_ns, self._tick)
 
     @property
     def samples(self) -> int:
@@ -97,6 +120,7 @@ class Sampler:
             "interval_ns": self.interval_ns,
             "samples": self.samples,
             "truncated": self.truncated,
+            "t0_ns": self._t0,
             "times": list(self.times),
             "cpus": [
                 {"id": i, "depth": self.depth[i], "util": self.util[i],
@@ -106,4 +130,6 @@ class Sampler:
             "vb_blocked": list(self.vb_blocked),
             "bwd_deschedules": list(self.bwd_deschedules),
             "stall_delta_ns": list(self.stall_delta_ns),
+            "psi_some_ns": list(self.psi_some_ns),
+            "psi_full_ns": list(self.psi_full_ns),
         }

@@ -41,10 +41,12 @@ class ObsSession:
         self.recorder = recorder
         self.sample_interval_ns = sample_interval_ns
         self.samplers: list["Sampler"] = []
+        self.kernels: list["Kernel"] = []
         self.hists: dict[str, Log2Histogram] = {}
 
     def attach(self, kernel: "Kernel") -> "Sampler | None":
         """Called by ``Kernel.__init__``: start a sampler if requested."""
+        self.kernels.append(kernel)
         if not self.sample_interval_ns:
             return None
         from .sampler import Sampler  # lazy: avoids a kernel<->obs cycle

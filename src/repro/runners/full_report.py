@@ -898,6 +898,12 @@ def add_report_flags(ap: argparse.ArgumentParser) -> None:
     ap.add_argument("--sample-interval-us", type=float, default=None,
                     metavar="US", help="also run the interval sampler at "
                                        "this period (requires --trace-dir)")
+    ap.add_argument("--metrics-dir", default=None, metavar="DIR",
+                    help="write per-spec telemetry into DIR (schedstats "
+                         "JSON, OpenMetrics text, PSI series JSONL; "
+                         "docs/telemetry.md) and attach a summary to the "
+                         "results artifact (disables cache reads so every "
+                         "spec is freshly instrumented)")
     ap.add_argument("--validate", action="store_true",
                     help="after the report, check the results against the "
                          "paper fidelity specs (repro validate); exit 4 "
@@ -919,6 +925,7 @@ def run_full_report(
     progress_out: TextIO | None = None,
     trace_dir: str | None = None,
     sample_interval_us: float | None = None,
+    metrics_dir: str | None = None,
     validate: bool = False,
     sections: list[str] | None = None,
 ) -> int:
@@ -980,6 +987,7 @@ def run_full_report(
         timeout_s=timeout_s, retries=retries, strict=False,
         progress=progress,
         trace_dir=trace_dir, sample_interval_us=sample_interval_us,
+        metrics_dir=metrics_dir,
     )
     values = runner.run(specs)
     if is_tty:
@@ -1030,6 +1038,20 @@ def run_full_report(
             for spec, value in zip(specs, values)
         ],
     }
+    if metrics_dir is not None:
+        # Sibling of "results": telemetry summaries never enter the
+        # digested results array, so digests are identical with or
+        # without --metrics-dir (tests/test_golden_digests.py).
+        from ..telemetry import load_spec_summary
+
+        telemetry = {}
+        for spec in specs:
+            summary = load_spec_summary(metrics_dir, spec.id)
+            if summary is not None:
+                telemetry[spec.id] = summary
+        artifact["telemetry"] = telemetry
+        print(f"telemetry for {len(telemetry)}/{len(specs)} specs "
+              f"written to {metrics_dir}", file=progress_out)
     if results_path and results_path != "none":
         # Atomic replace: a crash (or a reader racing the writer) must
         # never leave a truncated results.json behind.
@@ -1085,6 +1107,7 @@ def main_from_args(args: argparse.Namespace) -> int:
         strict=getattr(args, "strict", False),
         trace_dir=getattr(args, "trace_dir", None),
         sample_interval_us=getattr(args, "sample_interval_us", None),
+        metrics_dir=getattr(args, "metrics_dir", None),
         validate=getattr(args, "validate", False),
         sections=getattr(args, "sections", None),
     )

@@ -551,9 +551,11 @@ def execute_spec(payload: dict, timeout_s: float | None,
       and is the only timeout on SIGALRM-less platforms — previously those
       ran unbounded.
 
-    ``obs`` (keys ``trace_dir``, ``sample_interval_us``, ``capacity``)
-    wraps the run in an ``observe()`` session and ships the trace as
-    ``<trace_dir>/<id with '/' -> '__'>.jsonl``.
+    ``obs`` (keys ``trace_dir``, ``sample_interval_us``, ``capacity``,
+    ``metrics_dir``) wraps the run in an ``observe()`` session, ships the
+    trace as ``<trace_dir>/<id with '/' -> '__'>.jsonl``, and writes the
+    per-spec telemetry files (schedstats JSON, OpenMetrics text, PSI
+    series JSONL) into ``metrics_dir`` (docs/telemetry.md).
     """
     from ..sim.engine import clear_soft_deadline, set_soft_deadline
 
@@ -590,6 +592,17 @@ def execute_spec(payload: dict, timeout_s: float | None,
             session.recorder.to_jsonl(
                 path, meta={"spec": payload["id"], "seed": payload["seed"]}
             )
+        metrics_dir = obs.get("metrics_dir")
+        if metrics_dir:
+            from ..telemetry import session_telemetry, write_spec_telemetry
+
+            telemetry = session_telemetry(session)
+            if telemetry is not None:
+                os.makedirs(metrics_dir, exist_ok=True)
+                write_spec_telemetry(
+                    metrics_dir, payload["id"], telemetry,
+                    meta={"seed": payload["seed"]},
+                )
         return result
     finally:
         if timed:
@@ -651,6 +664,7 @@ class ParallelRunner:
         trace_dir: str | os.PathLike | None = None,
         sample_interval_us: float | None = None,
         trace_capacity: int | None = None,
+        metrics_dir: str | os.PathLike | None = None,
     ) -> None:
         self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
         self.cache_dir = str(cache_dir) if cache_dir is not None else None
@@ -669,14 +683,19 @@ class ParallelRunner:
         self.trace_dir = str(trace_dir) if trace_dir is not None else None
         self.sample_interval_us = sample_interval_us
         self.trace_capacity = trace_capacity
+        self.metrics_dir = (
+            str(metrics_dir) if metrics_dir is not None else None
+        )
         self.stats = RunnerStats()
 
     def _obs(self) -> dict | None:
-        if self.trace_dir is None and self.sample_interval_us is None:
+        if (self.trace_dir is None and self.sample_interval_us is None
+                and self.metrics_dir is None):
             return None
         return {"trace_dir": self.trace_dir,
                 "sample_interval_us": self.sample_interval_us,
-                "capacity": self.trace_capacity}
+                "capacity": self.trace_capacity,
+                "metrics_dir": self.metrics_dir}
 
     # -- cache ---------------------------------------------------------
     def _cache_path(self, spec: ExperimentSpec) -> str:
@@ -699,10 +718,10 @@ class ParallelRunner:
     def cache_load(self, spec: ExperimentSpec) -> Any | None:
         if not self.use_cache:
             return None
-        if self.trace_dir is not None:
-            # A cache hit has no trace to ship: re-simulate (results are
-            # bit-identical anyway) so every spec gets its artifact and the
-            # trace bytes match the cold-cache run.
+        if self.trace_dir is not None or self.metrics_dir is not None:
+            # A cache hit has no trace or telemetry to ship: re-simulate
+            # (results are bit-identical anyway) so every spec gets its
+            # artifacts and the bytes match the cold-cache run.
             return None
         path = self._cache_path(spec)
         try:

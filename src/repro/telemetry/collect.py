@@ -1,0 +1,119 @@
+"""Per-spec telemetry collection and the ``--metrics-dir`` file protocol.
+
+When a run is executed with ``--metrics-dir``, the worker that simulated
+a spec writes three files (spec ids have ``/`` mapped to ``__``):
+
+* ``<spec>.metrics.json``  — full schedstats snapshots (all kernels the
+  spec built, machine totals, PSI block, histograms) plus a compact
+  ``summary`` the report attaches as ``artifact["telemetry"][spec_id]``;
+* ``<spec>.om``            — the primary kernel's metrics registry in
+  strict OpenMetrics text format;
+* ``<spec>.series.jsonl``  — the PSI pressure time series, one
+  checkpoint per line.
+
+Collection happens after the runner returned its results, reading
+counters the kernel maintained anyway — results and digests are
+byte-identical with or without it (tests/test_telemetry.py).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import TYPE_CHECKING, Any
+
+from .exporters import write_openmetrics, write_series_jsonl
+from .pressure import series_rows
+from .registry import registry_from_schedstats
+from .schedstats import snapshot
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.session import ObsSession
+
+
+def session_telemetry(session: "ObsSession") -> dict[str, Any] | None:
+    """Snapshot every kernel the session saw; None when none ran."""
+    kernels = getattr(session, "kernels", [])
+    if not kernels:
+        return None
+    snaps = [snapshot(k) for k in kernels]
+    # The primary kernel is the one that simulated the most virtual
+    # time — for single-kernel specs (the common case) it is the only
+    # one; for sweeps it is the dominant phase.
+    primary = max(
+        range(len(snaps)),
+        key=lambda i: (snaps[i]["machine"]["elapsed_ns"], -i),
+    )
+    return {"kernels": len(snaps), "primary": primary, "snapshots": snaps}
+
+
+def summarize(telemetry: dict[str, Any]) -> dict[str, Any]:
+    """The compact block attached to ``artifact["telemetry"]``."""
+    s = telemetry["snapshots"][telemetry["primary"]]
+    p = s["pressure"]
+    return {
+        "kernels": telemetry["kernels"],
+        "pressure": {
+            "some_ns": p["some_ns"],
+            "full_ns": p["full_ns"],
+            "some_avg": p["avg"]["some"],
+            "full_avg": p["avg"]["full"],
+            "windows": p["windows"],
+        },
+        "machine": s["machine"],
+    }
+
+
+def artifact_base(spec_id: str) -> str:
+    return spec_id.replace("/", "__")
+
+
+def write_spec_telemetry(
+    metrics_dir: str,
+    spec_id: str,
+    telemetry: dict[str, Any],
+    meta: dict[str, Any] | None = None,
+) -> dict[str, str]:
+    """Write the three per-spec files; returns their paths by kind."""
+    base = os.path.join(metrics_dir, artifact_base(spec_id))
+    primary = telemetry["snapshots"][telemetry["primary"]]
+
+    paths = {
+        "json": base + ".metrics.json",
+        "openmetrics": base + ".om",
+        "series": base + ".series.jsonl",
+    }
+    doc = {
+        "spec": spec_id,
+        **(meta or {}),
+        "summary": summarize(telemetry),
+        "kernels": telemetry["kernels"],
+        "primary": telemetry["primary"],
+        "snapshots": telemetry["snapshots"],
+    }
+    with open(paths["json"], "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    write_openmetrics(
+        paths["openmetrics"],
+        registry_from_schedstats(primary).snapshot(),
+    )
+    write_series_jsonl(
+        paths["series"],
+        series_rows(primary["pressure"]),
+        meta={"spec": spec_id,
+              "interval_ns": primary["pressure"]["checkpoint_interval_ns"]},
+    )
+    return paths
+
+
+def load_spec_summary(metrics_dir: str, spec_id: str) -> dict[str, Any] | None:
+    """Read back the worker-written summary for one spec, if present."""
+    path = os.path.join(
+        metrics_dir, artifact_base(spec_id) + ".metrics.json"
+    )
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh).get("summary")
+    except (OSError, ValueError):
+        return None

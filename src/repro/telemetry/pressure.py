@@ -1,0 +1,117 @@
+"""PSI-style CPU pressure: ``cpu some`` / ``cpu full`` stall fractions.
+
+The kernel maintains two machine-wide counts with O(1) transitions —
+``psi_waiting`` (tasks runnable but not running) and ``psi_running`` —
+and integrates stall time over them: ``some`` accumulates while at least
+one task is waiting for a CPU, ``full`` while tasks are waiting and
+*nothing* is running (the pathological all-stalled case; Linux reports
+system-level ``cpu full`` as zero, but inside a simulated guest it is a
+meaningful overload signal).  Cumulative ``(t, some, full)`` checkpoints
+are appended at every 10 ms bucket boundary, so windowed averages can be
+derived exactly after the fact without any periodic engine event.
+
+Windows follow Linux PSI (10s / 60s / 300s of *simulated* time) but are
+clamped to the run's elapsed time — quick-scale runs last tens to
+hundreds of milliseconds, so all three windows typically equal the
+whole-run stall fraction.  That is deliberate: the fleet controller
+consumes the same window keys at any scale.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..kernel.kernel import Kernel
+
+#: PSI window widths in simulated ns, keyed the way /proc/pressure does.
+WINDOWS_NS = {
+    "avg10": 10_000_000_000,
+    "avg60": 60_000_000_000,
+    "avg300": 300_000_000_000,
+}
+
+
+def _cumulative_at(
+    points: Sequence[tuple[int, int, int]], t: int
+) -> tuple[float, float]:
+    """Linear interpolation of cumulative (some, full) at time ``t``.
+
+    ``points`` must be sorted by time and bracket ``t``; interpolation
+    error is bounded by one checkpoint interval of stall time.
+    """
+    if not points or t <= points[0][0]:
+        return 0.0, 0.0
+    if t >= points[-1][0]:
+        return float(points[-1][1]), float(points[-1][2])
+    lo, hi = 0, len(points) - 1
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if points[mid][0] <= t:
+            lo = mid
+        else:
+            hi = mid
+    (t0, s0, f0), (t1, s1, f1) = points[lo], points[hi]
+    frac = (t - t0) / (t1 - t0)
+    return s0 + frac * (s1 - s0), f0 + frac * (f1 - f0)
+
+
+def window_averages(
+    checkpoints: Sequence[tuple[int, int, int]],
+    start_ns: int,
+    end_ns: int,
+    some_total: int,
+    full_total: int,
+) -> dict[str, dict[str, float]]:
+    """Windowed stall fractions over the trailing PSI windows."""
+    points = [(start_ns, 0, 0), *checkpoints]
+    if points[-1][0] < end_ns:
+        points.append((end_ns, some_total, full_total))
+    elapsed = max(1, end_ns - start_ns)
+    out: dict[str, dict[str, float]] = {}
+    for key, width in WINDOWS_NS.items():
+        eff = min(width, elapsed)
+        some_lo, full_lo = _cumulative_at(points, end_ns - eff)
+        out[key] = {
+            "some": max(0.0, (some_total - some_lo) / eff),
+            "full": max(0.0, (full_total - full_lo) / eff),
+        }
+    return out
+
+
+def pressure_dict(kernel: "Kernel") -> dict[str, Any]:
+    """Full pressure block for a finished kernel (JSON-pure)."""
+    now = kernel.now
+    kernel._psi_update(now)
+    start = kernel.start_time
+    elapsed = max(1, now - start)
+    some, full = kernel.psi_some_ns, kernel.psi_full_ns
+    return {
+        "some_ns": some,
+        "full_ns": full,
+        "elapsed_ns": now - start,
+        "avg": {"some": some / elapsed, "full": full / elapsed},
+        "windows": window_averages(
+            kernel._psi_checkpoints, start, now, some, full
+        ),
+        "checkpoint_interval_ns": kernel._psi_bucket_ns,
+        "checkpoints": [list(c) for c in kernel._psi_checkpoints],
+    }
+
+
+def series_rows(pressure: dict[str, Any]) -> list[dict[str, Any]]:
+    """Per-checkpoint JSONL rows derived from a pressure block: the
+    cumulative counters plus the stall fraction within each bucket."""
+    interval = pressure["checkpoint_interval_ns"]
+    rows: list[dict[str, Any]] = []
+    prev_s = prev_f = 0
+    for t, s, f in pressure["checkpoints"]:
+        rows.append({
+            "t_ns": t,
+            "cpu_some_ns": s,
+            "cpu_full_ns": f,
+            "some": (s - prev_s) / interval,
+            "full": (f - prev_f) / interval,
+        })
+        prev_s, prev_f = s, f
+    return rows

@@ -1,0 +1,248 @@
+"""A small labeled-metrics registry with deterministic snapshots.
+
+Three metric kinds — :class:`Counter`, :class:`Gauge`, and
+:class:`Histogram` (log2-bucketed, backed by
+:class:`~repro.obs.hist.Log2Histogram`) — registered by name with a
+fixed label schema.  ``snapshot()`` renders the whole registry as a
+JSON-pure list of families with samples in sorted label order, so two
+registries fed the same data in any order serialize byte-identically;
+the OpenMetrics and JSONL exporters consume that snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from ..obs.hist import Log2Histogram
+
+_KINDS = ("counter", "gauge", "histogram")
+
+
+def _label_key(
+    labelnames: tuple[str, ...], labels: dict[str, Any]
+) -> tuple[str, ...]:
+    if set(labels) != set(labelnames):
+        raise ValueError(
+            f"labels {sorted(labels)} do not match schema "
+            f"{sorted(labelnames)}"
+        )
+    return tuple(str(labels[n]) for n in labelnames)
+
+
+class _Metric:
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, labelnames: Iterable[str]):
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+
+    def _samples(self) -> list[dict[str, Any]]:  # pragma: no cover
+        raise NotImplementedError
+
+    def family(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "type": self.kind,
+            "help": self.help,
+            "samples": self._samples(),
+        }
+
+    def _labels_of(self, key: tuple[str, ...]) -> dict[str, str]:
+        return dict(zip(self.labelnames, key))
+
+
+class Counter(_Metric):
+    kind = "counter"
+
+    def __init__(self, name: str, help: str, labelnames: Iterable[str]):
+        super().__init__(name, help, labelnames)
+        self._values: dict[tuple[str, ...], float] = {}
+
+    def inc(self, amount: float = 1, **labels: Any) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = _label_key(self.labelnames, labels)
+        self._values[key] = self._values.get(key, 0) + amount
+
+    def _samples(self) -> list[dict[str, Any]]:
+        return [
+            {"labels": self._labels_of(k), "value": v}
+            for k, v in sorted(self._values.items())
+        ]
+
+
+class Gauge(_Metric):
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str, labelnames: Iterable[str]):
+        super().__init__(name, help, labelnames)
+        self._values: dict[tuple[str, ...], float] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        self._values[_label_key(self.labelnames, labels)] = value
+
+    def _samples(self) -> list[dict[str, Any]]:
+        return [
+            {"labels": self._labels_of(k), "value": v}
+            for k, v in sorted(self._values.items())
+        ]
+
+
+class Histogram(_Metric):
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str, labelnames: Iterable[str]):
+        super().__init__(name, help, labelnames)
+        self._hists: dict[tuple[str, ...], Log2Histogram] = {}
+
+    def observe(self, value: int, **labels: Any) -> None:
+        key = _label_key(self.labelnames, labels)
+        h = self._hists.get(key)
+        if h is None:
+            h = Log2Histogram(self.name)
+            self._hists[key] = h
+        h.record(value)
+
+    def merge_from(self, hist: Log2Histogram, **labels: Any) -> None:
+        """Fold an existing :class:`Log2Histogram` into one label set."""
+        key = _label_key(self.labelnames, labels)
+        mine = self._hists.get(key)
+        if mine is None:
+            mine = Log2Histogram(self.name)
+            self._hists[key] = mine
+        mine.merge(hist)
+
+    def _samples(self) -> list[dict[str, Any]]:
+        out = []
+        for key, h in sorted(self._hists.items()):
+            counts = h.counts  # flushes pending records
+            cum = 0
+            buckets = []
+            for b in sorted(counts):
+                cum += counts[b]
+                # log2 bucket b holds v < 2**b; le is the inclusive bound.
+                buckets.append([(1 << b) - 1 if b else 0, cum])
+            out.append({
+                "labels": self._labels_of(key),
+                "buckets": buckets,
+                "count": h.count,
+                "sum": h.total,
+            })
+        return out
+
+
+class MetricsRegistry:
+    """Named metric families with a deterministic snapshot order."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, _Metric] = {}
+
+    def _register(self, metric: _Metric) -> _Metric:
+        existing = self._metrics.get(metric.name)
+        if existing is not None:
+            if (existing.kind != metric.kind
+                    or existing.labelnames != metric.labelnames):
+                raise ValueError(
+                    f"metric {metric.name!r} re-registered with a "
+                    "different kind or label schema"
+                )
+            return existing
+        self._metrics[metric.name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "",
+                labelnames: Iterable[str] = ()) -> Counter:
+        m = self._register(Counter(name, help, labelnames))
+        assert isinstance(m, Counter)
+        return m
+
+    def gauge(self, name: str, help: str = "",
+              labelnames: Iterable[str] = ()) -> Gauge:
+        m = self._register(Gauge(name, help, labelnames))
+        assert isinstance(m, Gauge)
+        return m
+
+    def histogram(self, name: str, help: str = "",
+                  labelnames: Iterable[str] = ()) -> Histogram:
+        m = self._register(Histogram(name, help, labelnames))
+        assert isinstance(m, Histogram)
+        return m
+
+    def snapshot(self) -> list[dict[str, Any]]:
+        """JSON-pure families sorted by name; samples in label order."""
+        return [
+            self._metrics[name].family()
+            for name in sorted(self._metrics)
+        ]
+
+
+def registry_from_schedstats(
+    stats: dict[str, Any], prefix: str = "repro_"
+) -> MetricsRegistry:
+    """Build a registry from a schedstats snapshot (docs/telemetry.md
+    lists every metric this emits)."""
+    reg = MetricsRegistry()
+
+    cpu_time = reg.counter(
+        f"{prefix}cpu_time_ns", "per-CPU time by bucket", ("cpu", "mode"))
+    cpu_switches = reg.counter(
+        f"{prefix}cpu_switches", "context switches per CPU", ("cpu",))
+    for c in stats["cpus"]:
+        cid = c["cpu"]
+        for mode in ("busy", "sched", "irq", "stall", "poll", "idle"):
+            cpu_time.inc(c[f"{mode}_ns"], cpu=cid, mode=mode)
+        cpu_switches.inc(c["nr_switches"], cpu=cid)
+
+    task_time = reg.counter(
+        f"{prefix}task_time_ns", "per-task time by scheduling state",
+        ("task", "state"))
+    task_events = reg.counter(
+        f"{prefix}task_sched_events", "per-task scheduler event counts",
+        ("task", "event"))
+    for t in stats["tasks"]:
+        name = t["name"]
+        for state, field in (("run", "run_ns"), ("spin", "spin_ns"),
+                             ("wait", "wait_ns"), ("block", "block_ns")):
+            task_time.inc(t[field], task=name, state=state)
+        for event in ("nr_switches", "nr_voluntary", "nr_involuntary",
+                      "nr_migrations", "nr_wakeups", "nr_blocks",
+                      "nr_futex_waits", "nr_slice_expiries",
+                      "bwd_deschedules"):
+            task_events.inc(t[event], task=name, event=event)
+
+    m = stats["machine"]
+    depth = reg.gauge(
+        f"{prefix}runqueue_depth_avg",
+        "machine-wide time-averaged runqueue depth (sum of nr_running)")
+    depth.set(m["rq_depth_avg"])
+    migrations = reg.counter(
+        f"{prefix}migrations", "task migrations by locality", ("kind",))
+    migrations.inc(m["migrations_in_node"], kind="in_node")
+    migrations.inc(m["migrations_cross_node"], kind="cross_node")
+    machine = reg.counter(
+        f"{prefix}sched_events", "machine-wide scheduler event totals",
+        ("event",))
+    for event in ("nr_switches", "nr_wakeups", "nr_futex_waits",
+                  "nr_slice_expiries", "bwd_deschedules"):
+        machine.inc(m[event], event=event)
+
+    p = stats["pressure"]
+    stall = reg.counter(
+        f"{prefix}pressure_cpu_stall_ns",
+        "cumulative PSI cpu stall time", ("kind",))
+    stall.inc(p["some_ns"], kind="some")
+    stall.inc(p["full_ns"], kind="full")
+    window = reg.gauge(
+        f"{prefix}pressure_cpu",
+        "PSI cpu stall fraction over trailing windows",
+        ("kind", "window"))
+    for wname, vals in p["windows"].items():
+        window.set(vals["some"], kind="some", window=wname)
+        window.set(vals["full"], kind="full", window=wname)
+
+    lat = reg.histogram(
+        f"{prefix}latency_ns", "kernel latency distributions", ("probe",))
+    for name, hd in stats.get("hists", {}).items():
+        lat.merge_from(Log2Histogram.from_dict(hd), probe=name)
+    return reg

@@ -1,0 +1,110 @@
+"""``repro top``: a terminal view of scheduler state over a run.
+
+Renders frames from the interval sampler's time series (per-CPU
+utilization and runqueue depth, machine PSI pressure) plus a final
+top-tasks-by-wait table from the schedstats snapshot.  The run happens
+first and the frames replay its sampled timeline — output is fully
+deterministic, so the command is scriptable and CI-safe while still
+reading like ``top``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..obs.timeline import LEVELS
+
+
+def _bar(frac: float, width: int) -> str:
+    frac = max(0.0, min(1.0, frac))
+    filled = int(frac * width)
+    partial = ""
+    if filled < width:
+        level = int((frac * width - filled) * (len(LEVELS) - 1))
+        partial = LEVELS[level] if level > 0 else " "
+    return ("#" * filled + partial).ljust(width)
+
+
+def _frame(sampler: dict[str, Any], lo: int, hi: int,
+           width: int) -> list[str]:
+    """One frame over sample indices [lo, hi)."""
+    times = sampler["times"]
+    t0 = sampler.get("t0_ns", 0)
+    j = hi - 1
+    t = times[j]
+    span = max(1, t - (times[lo - 1] if lo > 0 else t0))
+
+    some = sampler.get("psi_some_ns") or []
+    full = sampler.get("psi_full_ns") or []
+
+    def delta(series: list[int]) -> float:
+        if not series:
+            return 0.0
+        prev = series[lo - 1] if lo > 0 else 0
+        return max(0.0, (series[j] - prev) / span)
+
+    cpus = [
+        c for c in sampler["cpus"]
+        if any(c["util"]) or any(c["depth"])
+    ] or sampler["cpus"]
+    depths = [c["depth"][j] for c in cpus]
+    head = (
+        f"t={t / 1e6:10.3f} ms   pressure cpu some {delta(some):6.1%} "
+        f"full {delta(full):6.1%}   load {sum(depths)}"
+    )
+    lines = [head]
+    for c in cpus:
+        window = c["util"][lo:hi]
+        util = sum(window) / len(window) if window else 0.0
+        spinning = c["spin"][j]
+        lines.append(
+            f"cpu {c['id']:3d} |{_bar(util, width)}| {util:6.1%}  "
+            f"rq {c['depth'][j]:3d}{'  spin' if spinning else ''}"
+        )
+    return lines
+
+
+def render_top(
+    sampler: dict[str, Any],
+    stats: dict[str, Any] | None = None,
+    frames: int = 4,
+    width: int = 40,
+    top_n: int = 8,
+) -> str:
+    """Frames over the sampled timeline + a top-tasks table."""
+    out: list[str] = []
+    n = len(sampler.get("times") or [])
+    if n == 0:
+        out.append("(no samples recorded — interval longer than the run?)")
+    else:
+        frames = max(1, min(frames, n))
+        bounds = [n * (i + 1) // frames for i in range(frames)]
+        lo = 0
+        for hi in bounds:
+            if hi <= lo:
+                continue
+            out.extend(_frame(sampler, lo, hi, width))
+            out.append("")
+            lo = hi
+
+    if stats is not None:
+        p = stats["pressure"]
+        out.append(
+            f"pressure (whole run): cpu some {p['avg']['some']:.1%} "
+            f"full {p['avg']['full']:.1%}; avg10 "
+            f"some {p['windows']['avg10']['some']:.1%} "
+            f"full {p['windows']['avg10']['full']:.1%}"
+        )
+        tasks = sorted(stats["tasks"], key=lambda t: -t["wait_ns"])[:top_n]
+        out.append("top tasks by wait time (end-of-run totals):")
+        out.append(
+            f"  {'name':<20} {'wait ms':>9} {'run ms':>9} {'spin ms':>9} "
+            f"{'switches':>9} {'wakeups':>8}"
+        )
+        for t in tasks:
+            out.append(
+                f"  {t['name']:<20} {t['wait_ns'] / 1e6:9.3f} "
+                f"{t['run_ns'] / 1e6:9.3f} {t['spin_ns'] / 1e6:9.3f} "
+                f"{t['nr_switches']:9d} {t['nr_wakeups']:8d}"
+            )
+    return "\n".join(out)

@@ -68,3 +68,15 @@ def test_fig09_subset_quick_digest_and_jobs_equivalence():
     parallel = _run(specs, jobs=4)
     assert serial == parallel
     assert _digest(specs, serial) == GOLDEN_DIGESTS["fig09_subset"]
+
+
+def test_fig09_subset_digest_unchanged_with_telemetry(tmp_path):
+    """Schedstats + --metrics-dir must not perturb results: the golden
+    digest holds with telemetry artifacts being written per spec."""
+    specs = _specs(("fig09/streamcluster/", "fig09/is/"))
+    results = ParallelRunner(
+        jobs=2, use_cache=False, metrics_dir=tmp_path,
+    ).run(specs)
+    assert _digest(specs, results) == GOLDEN_DIGESTS["fig09_subset"]
+    # One artifact triple per spec landed next to the results.
+    assert len(list(tmp_path.glob("*.om"))) == len(specs)
