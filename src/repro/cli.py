@@ -975,11 +975,31 @@ def build_parser() -> argparse.ArgumentParser:
                         "exit 1 on drift")
     p.set_defaults(fn=cmd_docs)
 
+    # Every command that builds kernels honors the process-global hot
+    # core selection (repro.fastpath).  Parsing-only commands have
+    # nothing to accelerate, and the chaos parent delegates to its own
+    # subcommands below.
+    from .fastpath import add_backend_argument
+
+    backendless = {"list", "analyze", "validate", "docs", "chaos"}
+    seen: set[int] = set()
+    for name, sp in sub._name_parser_map.items():
+        if name in backendless or id(sp) in seen:
+            continue
+        seen.add(id(sp))
+        add_backend_argument(sp)
+    for name, cp in csub._name_parser_map.items():
+        if name != "plan":
+            add_backend_argument(cp)
+
     return ap
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    from .fastpath import apply_backend_argument
+
+    apply_backend_argument(args)
     try:
         return args.fn(args)
     except BrokenPipeError:  # e.g. ``python -m repro list | head``

@@ -1,0 +1,269 @@
+"""Pure-Python slab engine: the fast backend's no-compiler fallback.
+
+Same observable contract as :class:`repro.sim.engine.Engine`, but event
+state lives in parallel slab columns — ``array('q')`` for the numeric
+fields (deadline, generation), plain lists for the callback/args — with
+an integer free-list, so a *cancelled* or fired event releases no
+Python objects beyond its callback reference.  The ready queue is a
+single heap of ``(time, seq, slot, generation)`` tuples; ``seq`` is a
+global schedule counter, which makes the heap order exactly the pure
+wheel's ``(time, schedule order)`` total order.
+
+Generation counters give O(1) lazy cancellation: cancelling bumps the
+slot's generation, so any heap entry carrying the old generation is
+recognisably stale when it surfaces (or when the heap is compacted).
+
+The C extension (``_fastcore.c``) implements the same design with the
+heap entries and columns in C structs; :mod:`repro.fastpath` prefers it
+and falls back to this class when compilation is unavailable.
+"""
+
+from __future__ import annotations
+
+from array import array
+from heapq import heapify, heappop, heappush
+from time import monotonic
+from typing import Any, Callable
+
+from ..errors import SimulationError, SoftTimeoutError
+from ..sim import engine as _sim_engine
+
+
+class SlabEventHandle:
+    """Handle to a scheduled event in the slab engine."""
+
+    __slots__ = ("_engine", "_idx", "_gen", "time")
+
+    def __init__(self, engine: "SlabEngine", idx: int, gen: int, time: int):
+        self._engine = engine
+        self._idx = idx
+        self._gen = gen
+        self.time = time
+
+    @property
+    def cancelled(self) -> bool:
+        # A slot's generation moves past the handle's the moment the
+        # event is cancelled or fired (consumed == cancelled, matching
+        # the pure backend's contract).
+        return self._engine._gen_col[self._idx] != self._gen
+
+    def cancel(self) -> None:
+        self._engine._cancel(self._idx, self._gen)
+
+
+class SlabEngine:
+    """Event loop owning the simulated clock (slab-allocated events)."""
+
+    __slots__ = (
+        "now",
+        "_heap",
+        "_t_col",
+        "_gen_col",
+        "_fn_col",
+        "_args_col",
+        "_free",
+        "_seq",
+        "_events_run",
+        "_live",
+        "_next_time",
+        "on_event",
+    )
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        # (time, seq, slot, generation) entries; seq is globally unique
+        # so comparisons never reach the slot/generation fields.
+        self._heap: list[tuple[int, int, int, int]] = []
+        self._t_col = array("q")
+        self._gen_col = array("q")
+        self._fn_col: list[Callable[..., Any] | None] = []
+        self._args_col: list[tuple | None] = []
+        self._free: list[int] = []
+        self._seq = 0
+        self._events_run = 0
+        self._live = 0
+        self._next_time: int | None = None
+        self.on_event: Callable[[], None] | None = None
+
+    # -- accounting ------------------------------------------------------
+    @property
+    def events_run(self) -> int:
+        return self._events_run
+
+    @property
+    def pending(self) -> int:
+        return self._live
+
+    def recount_live(self) -> int:
+        gen_col = self._gen_col
+        return sum(1 for _t, _s, idx, gen in self._heap
+                   if gen_col[idx] == gen)
+
+    def queue_len(self) -> int:
+        """Raw heap length including lazily-cancelled entries."""
+        return len(self._heap)
+
+    # -- scheduling ------------------------------------------------------
+    def schedule_at(self, time: int, fn: Callable[..., Any], *args):
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event at t={time} before now={self.now}"
+            )
+        free = self._free
+        if free:
+            idx = free.pop()
+            self._t_col[idx] = time
+            self._fn_col[idx] = fn
+            self._args_col[idx] = args
+        else:
+            idx = len(self._t_col)
+            self._t_col.append(time)
+            self._gen_col.append(0)
+            self._fn_col.append(fn)
+            self._args_col.append(args)
+        gen = self._gen_col[idx]
+        self._seq += 1
+        heappush(self._heap, (time, self._seq, idx, gen))
+        self._live += 1
+        nt = self._next_time
+        if nt is not None and time < nt:
+            self._next_time = time
+        return SlabEventHandle(self, idx, gen, time)
+
+    def schedule(self, delay: int, fn: Callable[..., Any], *args):
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule_at(self.now + delay, fn, *args)
+
+    def _cancel(self, idx: int, gen: int) -> None:
+        gen_col = self._gen_col
+        if gen_col[idx] != gen:
+            return  # already cancelled or fired
+        gen_col[idx] = gen + 1
+        self._fn_col[idx] = None
+        self._args_col[idx] = None
+        self._free.append(idx)
+        self._live -= 1
+        nt = self._next_time
+        if nt is not None and self._t_col[idx] <= nt:
+            self._next_time = None
+        heap = self._heap
+        if len(heap) > 64 and self._live * 2 < len(heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop stale heap entries and re-heapify.  (time, seq) keys are
+        unique, so pop order is independent of internal layout."""
+        gen_col = self._gen_col
+        heap = self._heap
+        heap[:] = [e for e in heap if gen_col[e[2]] == e[3]]
+        heapify(heap)
+
+    # -- draining --------------------------------------------------------
+    def _settle(self) -> tuple[int, int, int, int] | None:
+        """Drop stale entries off the heap top; return the live root
+        entry (still in the heap) or None when drained."""
+        heap = self._heap
+        gen_col = self._gen_col
+        while heap:
+            ent = heap[0]
+            if gen_col[ent[2]] == ent[3]:
+                return ent
+            heappop(heap)
+        return None
+
+    def peek_time(self) -> int | None:
+        nt = self._next_time
+        if nt is not None:
+            return nt
+        ent = self._settle()
+        if ent is None:
+            return None
+        self._next_time = ent[0]
+        return ent[0]
+
+    def _fire(self, t: int, idx: int, gen: int) -> None:
+        self._next_time = None
+        self.now = t
+        self._events_run += 1
+        self._live -= 1
+        self._gen_col[idx] = gen + 1  # consumed: late cancel is a no-op
+        fn = self._fn_col[idx]
+        args = self._args_col[idx]
+        self._fn_col[idx] = None
+        self._args_col[idx] = None
+        self._free.append(idx)
+        assert fn is not None
+        fn(*args)
+        cb = self.on_event
+        if cb is not None:
+            cb()
+
+    def step(self) -> bool:
+        if self._settle() is None:
+            return False
+        t, _seq, idx, gen = heappop(self._heap)
+        self._fire(t, idx, gen)
+        return True
+
+    def run(
+        self,
+        until: int | None = None,
+        max_events: int | None = None,
+        stop_when: Callable[[], bool] | None = None,
+    ) -> None:
+        count = 0
+        heap = self._heap
+        gen_col = self._gen_col
+        mask = _sim_engine._SOFT_DEADLINE_MASK
+        on_event = self.on_event
+        while True:
+            if stop_when is not None and stop_when():
+                return
+            if max_events is not None and count >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events} at t={self.now}; "
+                    "likely a livelock in the simulated system"
+                )
+            if (count & mask) == 0:
+                deadline = _sim_engine._SOFT_DEADLINE
+                if deadline is not None and monotonic() > deadline:
+                    raise SoftTimeoutError(
+                        f"soft deadline expired at t={self.now} "
+                        f"after {self._events_run} events"
+                    )
+            # Inline settle: find the next live entry.
+            ent = None
+            while heap:
+                e = heap[0]
+                if gen_col[e[2]] == e[3]:
+                    ent = e
+                    break
+                heappop(heap)
+            if ent is None:
+                if until is not None and until > self.now:
+                    self.now = until
+                return
+            t = ent[0]
+            if until is not None and t > until:
+                self._next_time = t
+                if until > self.now:
+                    self.now = until
+                return
+            heappop(heap)
+            idx = ent[2]
+            gen = ent[3]
+            self._next_time = None
+            self.now = t
+            self._events_run += 1
+            self._live -= 1
+            gen_col[idx] = gen + 1
+            fn = self._fn_col[idx]
+            args = self._args_col[idx]
+            self._fn_col[idx] = None
+            self._args_col[idx] = None
+            self._free.append(idx)
+            fn(*args)  # type: ignore[misc]
+            if on_event is not None:
+                on_event()
+            count += 1

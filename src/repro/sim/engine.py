@@ -19,7 +19,7 @@ and the run loop's bound checks do not rescan cancelled prefixes.
 
 from __future__ import annotations
 
-from heapq import heappop, heappush
+from heapq import heapify, heappop, heappush
 from time import monotonic
 from typing import Any, Callable
 
@@ -39,17 +39,33 @@ from ..errors import SimulationError, SoftTimeoutError
 _SOFT_DEADLINE: float | None = None
 _SOFT_DEADLINE_MASK = 1023  # poll every 1024 events; keeps the hot loop cheap
 
+# Alternate run loops (the C fast backend) poll their own copy of the
+# deadline; they register a listener here so arm/disarm reaches every
+# engine implementation in the process.
+_DEADLINE_LISTENERS: list[Callable[[float | None], None]] = []
+
+
+def add_soft_deadline_listener(fn: Callable[[float | None], None]) -> None:
+    """Register ``fn(absolute_monotonic_deadline_or_None)``; it is called
+    on every :func:`set_soft_deadline` / :func:`clear_soft_deadline`."""
+    if fn not in _DEADLINE_LISTENERS:
+        _DEADLINE_LISTENERS.append(fn)
+
 
 def set_soft_deadline(timeout_s: float) -> None:
     """Arm a wall-clock deadline ``timeout_s`` seconds from now."""
     global _SOFT_DEADLINE
     _SOFT_DEADLINE = monotonic() + timeout_s
+    for fn in _DEADLINE_LISTENERS:
+        fn(_SOFT_DEADLINE)
 
 
 def clear_soft_deadline() -> None:
     """Disarm the soft deadline (idempotent)."""
     global _SOFT_DEADLINE
     _SOFT_DEADLINE = None
+    for fn in _DEADLINE_LISTENERS:
+        fn(None)
 
 
 class EventHandle:
@@ -84,6 +100,13 @@ class EventHandle:
             if engine._next_time is not None and self.time <= engine._next_time:
                 # The cached next-live time may have pointed at this event.
                 engine._next_time = None
+            # Wheel-pollution guard: cancelled-only deadlines otherwise
+            # sit in the deadline heap until drain.  Once live events
+            # fall below half the queued population, rebuild the wheel
+            # without the dead weight (FIFO order within each bucket is
+            # preserved, so the event order cannot change).
+            if engine._queued > 64 and engine._live * 2 < engine._queued:
+                engine._compact()
         # Drop references so cancelled events do not pin large objects
         # while they wait to be popped from the heap.
         self.fn = _noop
@@ -109,6 +132,7 @@ class Engine:
         "_head_time",
         "_events_run",
         "_live",
+        "_queued",
         "_next_time",
         "on_event",
     )
@@ -124,6 +148,9 @@ class Engine:
         self._head_time = 0
         self._events_run = 0
         self._live = 0
+        # Entries currently sitting in ``_buckets`` (live or cancelled);
+        # the denominator of the compaction trigger in ``cancel()``.
+        self._queued = 0
         self._next_time: int | None = None  # cached next-live-event time
         # Post-event hook: called (no args) after each fired event.  Used
         # by the chaos invariant checker; must be installed before run().
@@ -170,6 +197,25 @@ class Engine:
         handle.args = args
         handle.cancelled = False
         handle._engine = self
+        head = self._head
+        if head is not None and time < self._head_time:
+            # The drain cursor holds a bucket that is no longer the
+            # earliest deadline (peek_time()/run(until) pulled it before
+            # this earlier event existed).  Push its remainder back into
+            # the wheel so deadlines keep firing in order; entries it
+            # re-queues were scheduled before anything already bucketed
+            # at that time, so they go in front.
+            rest = head[self._head_idx:]
+            self._head = None
+            if rest:
+                ht = self._head_time
+                existing = self._buckets.get(ht)
+                if existing is None:
+                    self._buckets[ht] = rest
+                    heappush(self._times, ht)
+                else:
+                    existing[:0] = rest
+                self._queued += len(rest)
         bucket = self._buckets.get(time)
         if bucket is None:
             self._buckets[time] = [handle]
@@ -177,6 +223,7 @@ class Engine:
         else:
             bucket.append(handle)
         self._live += 1
+        self._queued += 1
         nt = self._next_time
         if nt is not None and time < nt:
             self._next_time = time
@@ -208,9 +255,40 @@ class Engine:
                 self._next_time = None
                 return None
             t = heappop(times)
-            self._head = self._buckets.pop(t)
+            head = self._buckets.pop(t)
+            self._head = head
             self._head_idx = 0
             self._head_time = t
+            self._queued -= len(head)
+
+    def _compact(self) -> None:
+        """Rebuild the wheel without cancelled entries.
+
+        Cancel-heavy workloads (slice-expiry churn, torn-down timers)
+        otherwise leave cancelled-only deadlines in the deadline heap
+        until drain reaches them; each costs a heappop + dict pop for
+        nothing.  Filtering preserves per-bucket FIFO order and bucket
+        keys stay unique, so the drain order is untouched.  The bucket
+        currently being drained (``_head``) is left alone — it is at
+        most one deadline's worth of entries.
+
+        In-place mutation of ``_times``/``_buckets`` on purpose: the
+        ``run()`` loop holds local aliases to both.
+        """
+        buckets = self._buckets
+        kept = 0
+        for t in list(buckets):
+            bucket = buckets[t]
+            live = [h for h in bucket if not h.cancelled]
+            if not live:
+                del buckets[t]
+            else:
+                if len(live) != len(bucket):
+                    buckets[t] = live
+                kept += len(live)
+        self._times[:] = buckets.keys()
+        heapify(self._times)
+        self._queued = kept
 
     def peek_time(self) -> int | None:
         """Time of the next live event, or None if the queue is empty."""
@@ -293,9 +371,11 @@ class Engine:
                     self._next_time = None
                     break
                 t = heappop(times)
-                self._head = buckets.pop(t)
+                head = buckets.pop(t)
+                self._head = head
                 self._head_idx = 0
                 self._head_time = t
+                self._queued -= len(head)
             if handle is None:
                 # Queue empty or fully drained: the run still covers the
                 # whole [now, until] window, so advance the clock to the

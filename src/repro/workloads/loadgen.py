@@ -212,6 +212,46 @@ class RateSchedule:
         last = self.phases[-1]  # pragma: no cover - t_ns < cycle above
         return self.base_rate_per_sec * last.multiplier_at(1.0)
 
+    def rate_at_np(self, t_ns: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`rate_at` over an int64 array of offsets.
+
+        Bit-identical to the scalar walk: integer phase offsets are
+        exact, and the interpolation uses the same operations in the
+        same order, so ``rate_at_np(t)[i] == rate_at(int(t[i]))`` for
+        every element (the thinning accept test relies on this).
+        """
+        if not self.phases:
+            return np.full(len(t_ns), self.base_rate_per_sec)
+        cycle = self.cycle_ns
+        t = np.asarray(t_ns, dtype=np.int64)
+        if self.repeat:
+            t = t % cycle
+            tail = None
+        else:
+            tail = t >= cycle
+            t = np.minimum(t, cycle - 1)
+        durations = np.array(
+            [ph.duration_ns for ph in self.phases], dtype=np.int64
+        )
+        bounds = np.cumsum(durations)
+        idx = np.searchsorted(bounds, t, side="right")
+        starts = bounds - durations
+        mult0 = np.array([ph.multiplier for ph in self.phases])
+        ramp = np.array(
+            [
+                ph.multiplier if ph.ramp_to is None else ph.ramp_to
+                for ph in self.phases
+            ]
+        )
+        frac = (t - starts[idx]) / durations[idx]
+        mult = mult0[idx] + (ramp[idx] - mult0[idx]) * frac
+        if tail is not None and tail.any():
+            last = self.phases[-1]
+            mult = np.where(
+                tail, last.multiplier_at(1.0), mult
+            )
+        return self.base_rate_per_sec * mult
+
     def mean_rate_per_sec(self) -> float:
         """Time-averaged rate over one cycle (ramps averaged linearly)."""
         if not self.phases:
@@ -391,6 +431,30 @@ class OpenLoopClients:
         self._constant = schedule.is_constant
         self._peak_gap_ns = 1e9 / schedule.peak_rate_per_sec
         self._peak_rate = schedule.peak_rate_per_sec
+        if not self._constant:
+            # Lewis-Shedler draws live on two dedicated substreams —
+            # candidate gaps and acceptance uniforms — so each can be
+            # pregenerated in numpy blocks and drained one value at a
+            # time.  Block fills consume the generator exactly like
+            # repeated scalar draws (numpy fills arrays element-wise
+            # from the same bit stream), so the arrival sequence is
+            # independent of the block size; payload draws stay on
+            # ``self.rng`` untouched by the batching.
+            self._gap_rng = kernel.rng_streams.stream(rng_name + ".gaps")
+            self._accept_rng = kernel.rng_streams.stream(
+                rng_name + ".accept"
+            )
+            # Accepted candidate times waiting to be scheduled, and the
+            # absolute time of the last candidate drawn (the candidate
+            # process is homogeneous Poisson at the peak rate and does
+            # not depend on accept outcomes, so whole blocks can be
+            # materialized ahead of the simulation).
+            self._accepted: list[int] = []
+            self._accepted_pos = 0
+            self._cand_time = 0
+
+    #: Draws pregenerated per numpy call on the thinning path.
+    _BATCH = 512
 
     @property
     def mean_gap_ns(self) -> float:
@@ -398,27 +462,54 @@ class OpenLoopClients:
 
     def start(self) -> None:
         self._t0 = self.kernel.now
+        if not self._constant:
+            self._cand_time = self._t0
         self._schedule_next()
 
     def stop(self) -> None:
         """Halt arrivals; idempotent (extra calls are no-ops)."""
         self._stopped = True
 
+    def _fill_accepted(self) -> None:
+        """Materialize the next block of accepted arrival times.
+
+        Lewis-Shedler thinning against the peak rate, batched: candidate
+        gaps (exponential at the peak rate, floored at 1 ns) and accept
+        uniforms each come off a dedicated substream in blocks, the
+        candidate clock is a cumulative sum, the schedule is evaluated
+        vectorized, and the accept test is one boolean mask.  Element
+        order on both substreams matches a draw-per-candidate scalar
+        loop exactly (numpy fills arrays element-wise from the same bit
+        stream), so results are independent of the block size — the
+        equivalence test in ``tests/test_loadgen.py`` replays this
+        against a scalar reference implementation.
+        """
+        accepted = self._accepted
+        accepted.clear()
+        self._accepted_pos = 0
+        t0 = self._t0
+        peak = self._peak_rate
+        while not accepted:
+            gaps = self._gap_rng.exponential(self._peak_gap_ns, self._BATCH)
+            steps = np.maximum(1, gaps.astype(np.int64))
+            times = self._cand_time + np.cumsum(steps)
+            self._cand_time = int(times[-1])
+            u = self._accept_rng.random(self._BATCH)
+            rates = self.schedule.rate_at_np(times - t0)
+            accepted.extend(int(t) for t in times[u * peak <= rates])
+
     def _schedule_next(self) -> None:
         if self._stopped:
             return
         if self._constant:
             gap = int(self.rng.exponential(self._peak_gap_ns))
-        else:
-            # Lewis-Shedler thinning against the peak rate.
-            gap = 0
-            while True:
-                gap += max(1, int(self.rng.exponential(self._peak_gap_ns)))
-                t_rel = self.kernel.now + gap - self._t0
-                rate = self.schedule.rate_at(t_rel)
-                if self.rng.random() * self._peak_rate <= rate:
-                    break
-        self.kernel.engine.schedule(max(1, gap), self._fire)
+            self.kernel.engine.schedule(max(1, gap), self._fire)
+            return
+        if self._accepted_pos >= len(self._accepted):
+            self._fill_accepted()
+        t = self._accepted[self._accepted_pos]
+        self._accepted_pos += 1
+        self.kernel.engine.schedule_at(max(t, self.kernel.now + 1), self._fire)
 
     def _fire(self) -> None:
         if self._stopped:

@@ -220,3 +220,35 @@ def test_events_run_counter():
         e.schedule_at(i + 1, lambda: None)
     e.run()
     assert e.events_run == 7
+
+
+def test_schedule_earlier_than_drain_cursor_fires_in_order():
+    # Regression: peek_time() (or a run(until) exit) pulls the earliest
+    # bucket into the drain cursor; scheduling an even earlier event
+    # afterwards must not let the cursor's bucket fire first (events
+    # came out of order and the clock ran backwards).
+    e = Engine()
+    log = []
+    e.schedule(100, lambda: log.append(("late", e.now)))
+    e.schedule(100, lambda: log.append(("late2", e.now)))
+    assert e.peek_time() == 100  # pulls t=100 into the cursor
+    e.schedule(5, lambda: log.append(("early", e.now)))
+    # Re-bucketed cursor entries keep FIFO order, also against events
+    # scheduled at the same deadline afterwards.
+    e.schedule(100, lambda: log.append(("late3", e.now)))
+    e.run()
+    assert log == [
+        ("early", 5), ("late", 100), ("late2", 100), ("late3", 100)
+    ]
+    assert e.pending == 0 and e.events_run == 4
+
+
+def test_schedule_earlier_after_run_until_window():
+    e = Engine()
+    log = []
+    e.schedule(5000, lambda: log.append(("a", e.now)))
+    e.run(until=10)  # leaves t=5000 parked in the cursor
+    assert e.now == 10
+    e.schedule(90, lambda: log.append(("b", e.now)))
+    e.run()
+    assert log == [("b", 100), ("a", 5000)]

@@ -242,3 +242,92 @@ def test_open_loop_schedule_deterministic():
     first = run()
     assert first == run()
     assert len(first) > 100
+
+
+def test_open_loop_constant_schedule_equals_plain_rate():
+    # A constant RateSchedule must take the single-draw fast path and
+    # produce bit-identical arrivals to a plain float rate (same stream,
+    # same draw order).
+    def run(rate):
+        k = Kernel(vanilla_config(cores=1, seed=9))
+        times = []
+        clients = OpenLoopClients(
+            k, lambda r: times.append(r.arrival_ns), rate_per_sec=rate
+        )
+        clients.start()
+        k.run_for(50 * MS)
+        clients.stop()
+        k.shutdown()
+        return times
+
+    plain = run(40_000.0)
+    scheduled = run(RateSchedule.constant(40_000.0))
+    degenerate = run(
+        RateSchedule(40_000.0, phases=(RatePhase(MS, 1.0),))
+    )
+    assert len(plain) > 100
+    assert plain == scheduled == degenerate
+
+
+def test_open_loop_thinning_matches_scalar_reference():
+    # The batched Lewis-Shedler path (numpy blocks + one boolean accept
+    # mask) must reproduce, arrival by arrival, a scalar reference that
+    # draws one candidate gap and one accept uniform at a time from the
+    # same dedicated substreams.
+    sched = RateSchedule.burst(30_000, 3.0, period_ns=7 * MS, duty=0.3)
+    horizon = 60 * MS
+
+    k = Kernel(vanilla_config(cores=1, seed=11))
+    batched = []
+    clients = OpenLoopClients(
+        k, lambda r: batched.append(r.arrival_ns), rate_per_sec=sched
+    )
+    clients.start()
+    k.run_for(horizon)
+    clients.stop()
+    k.shutdown()
+
+    # Scalar reference on fresh generators for the same named streams.
+    from repro.sim.rng import RngStreams
+
+    streams = RngStreams(11)
+    gap_rng = streams.stream("loadgen-open.gaps")
+    accept_rng = streams.stream("loadgen-open.accept")
+    peak_gap = 1e9 / sched.peak_rate_per_sec
+    peak = sched.peak_rate_per_sec
+    reference = []
+    t = 0
+    while True:
+        t += max(1, int(gap_rng.exponential(peak_gap)))
+        if t > horizon:
+            break
+        if accept_rng.random() * peak <= sched.rate_at(t):
+            reference.append(t)
+
+    assert len(batched) > 200
+    assert batched == reference[: len(batched)]
+    # Every reference arrival inside the horizon fired (the last few may
+    # be cut off by stop() landing exactly at the horizon).
+    assert len(reference) - len(batched) <= 1
+
+
+def test_rate_schedule_rate_at_np_matches_scalar():
+    import numpy as np
+
+    schedules = [
+        RateSchedule.burst(50_000, 3.0, period_ns=10 * MS, duty=0.2),
+        RateSchedule.ramp(1_000, 2.0, ramp_ns=10 * MS),
+        RateSchedule.diurnal(1_000, 3.0, period_ns=12 * MS),
+        RateSchedule.constant(5_000),
+    ]
+    rng = np.random.default_rng(5)
+    for sched in schedules:
+        offsets = np.concatenate(
+            [
+                rng.integers(0, 40 * MS, size=200),
+                np.array([0, 1, 2 * MS, 10 * MS - 1, 10 * MS, 39 * MS]),
+            ]
+        ).astype(np.int64)
+        vec = sched.rate_at_np(offsets)
+        for t, r in zip(offsets, vec):
+            assert r == sched.rate_at(int(t)), (sched, int(t))
