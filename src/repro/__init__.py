@@ -60,7 +60,7 @@ from .metrics import RunStats, collect, percentile, summarize_latencies
 # invalidates pre-observability cache entries.
 # 1.2.0: cache entries gained schema/sha256 integrity fields (CACHE_SCHEMA
 # 2); the bump gives hardened entries fresh keys.
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "SimConfig",

@@ -40,7 +40,13 @@ from .bundle import (
     run_chaos_spec,
 )
 from .controller import ChaosController, ChaosStats
-from .faults import FAULT_KINDS, FaultEvent, InjectionPlan, random_plan
+from .faults import (
+    FAULT_KINDS,
+    SERVING_KINDS,
+    FaultEvent,
+    InjectionPlan,
+    random_plan,
+)
 from .invariants import InvariantChecker
 
 
@@ -73,6 +79,7 @@ def chaos_session(plan: InjectionPlan) -> Iterator[ChaosSession]:
 
 __all__ = [
     "FAULT_KINDS",
+    "SERVING_KINDS",
     "FaultEvent",
     "InjectionPlan",
     "random_plan",

@@ -22,7 +22,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Any
 
-from ..errors import InvariantViolation, ReproError
+from ..errors import ConfigError, InvariantViolation, ReproError
 from .faults import InjectionPlan
 
 BUNDLE_VERSION = 1
@@ -126,8 +126,34 @@ class ReplayBundle:
 
     @classmethod
     def load(cls, path: str) -> "ReplayBundle":
-        with open(path, "r", encoding="utf-8") as f:
-            return cls.from_json(json.load(f))
+        """Read a bundle file; truncated/corrupt input raises
+        :class:`ConfigError` (usage exit 2 at the CLI) with the path and
+        the parse failure instead of a traceback."""
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                doc = json.load(f)
+        except OSError as exc:
+            raise ConfigError(
+                f"cannot read replay bundle {path!r}: {exc}"
+            ) from exc
+        except ValueError as exc:
+            raise ConfigError(
+                f"replay bundle {path!r} is not valid JSON "
+                f"(truncated or corrupt?): {exc}"
+            ) from exc
+        if not isinstance(doc, dict):
+            raise ConfigError(
+                f"replay bundle {path!r} must be a JSON object, "
+                f"got {type(doc).__name__}"
+            )
+        try:
+            return cls.from_json(doc)
+        except ReproError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigError(
+                f"malformed replay bundle {path!r}: {exc}"
+            ) from exc
 
 
 # ---------------------------------------------------------------------------

@@ -38,6 +38,10 @@ class ChaosStats:
     spurious_epolls: int = 0
     forced_migrations: int = 0
     timer_nudges: int = 0
+    worker_crashes: int = 0
+    tenant_slowdowns: int = 0
+    conns_dropped: int = 0
+    serving_skipped: int = 0
 
     def as_dict(self) -> dict:
         return dict(self.__dict__)
@@ -72,6 +76,9 @@ class ChaosController:
         self.applied: list[_Applied] = []
         self._delay_windows: list[_WakeWindow] = []
         self._drop_windows: list[_WakeWindow] = []
+        # Serving workloads register their ServerGuard here; the
+        # serving-layer fault kinds are recorded as skipped without one.
+        self.serving: Any = None
 
     def install(self) -> None:
         """Schedule every plan event on the kernel's engine."""
@@ -212,6 +219,44 @@ class ChaosController:
             done += 1
         self.stats.forced_migrations += done
         return {"requested": moves, "moved": done}
+
+    # ------------------------------------------------------------------
+    # Serving-layer faults (need a registered ServerGuard)
+    # ------------------------------------------------------------------
+    def _apply_worker_crash(self, params: dict) -> dict:
+        srv = self.serving
+        if srv is None:
+            self.stats.serving_skipped += 1
+            return {"skipped": "no-serving-target"}
+        worker = params.get("worker")
+        if worker is None:
+            worker = srv.pick_worker(self.rng)
+        worker = int(worker) % srv.workers
+        dead_ns = int(params.get("dead_ns", 10_000_000))
+        srv.crash_worker(worker, dead_ns)
+        self.stats.worker_crashes += 1
+        return {"worker": worker, "dead_ns": dead_ns}
+
+    def _apply_tenant_slowdown(self, params: dict) -> dict:
+        srv = self.serving
+        if srv is None:
+            self.stats.serving_skipped += 1
+            return {"skipped": "no-serving-target"}
+        factor = float(params.get("factor", 4.0))
+        duration_ns = int(params.get("duration_ns", 10_000_000))
+        srv.slow_down(factor, duration_ns)
+        self.stats.tenant_slowdowns += 1
+        return {"factor": factor, "duration_ns": duration_ns}
+
+    def _apply_conn_drop(self, params: dict) -> dict:
+        srv = self.serving
+        if srv is None:
+            self.stats.serving_skipped += 1
+            return {"skipped": "no-serving-target"}
+        count = int(params.get("count", 32))
+        dropped = srv.drop_connections(count, self.rng)
+        self.stats.conns_dropped += dropped
+        return {"requested": count, "dropped": dropped}
 
     # ------------------------------------------------------------------
     # Futex-wake interception (wake delay / drop windows)

@@ -26,6 +26,20 @@ Fault kinds
 ``migration-storm`` forcibly migrate ``moves`` runnable tasks between
                     random online CPUs, ignoring cache-hotness (but never
                     pinned or VB-blocked tasks).
+
+Serving-layer kinds (need a serving workload with a registered
+:class:`~repro.resilience.server.ServerGuard`; elsewhere they are
+recorded as skipped):
+
+``worker-crash``    crash epoll worker ``worker`` (random when omitted):
+                    its current batch is lost and the worker respawns
+                    after ``dead_ns`` (default 10 ms).
+``tenant-slowdown`` multiply the serving tenant's critical-section cost
+                    by ``factor`` for ``duration_ns`` (a payload-stripe
+                    hotspot / noisy-neighbor episode).
+``conn-drop``       silently drop up to ``count`` queued requests from
+                    random non-empty accept queues (clients find out via
+                    their timeouts, if they have any).
 """
 
 from __future__ import annotations
@@ -48,8 +62,14 @@ FAULT_KINDS = frozenset(
         "epoll-spurious",
         "bwd-jitter",
         "migration-storm",
+        "worker-crash",
+        "tenant-slowdown",
+        "conn-drop",
     }
 )
+
+#: The kinds that act on the serving layer (a registered ServerGuard).
+SERVING_KINDS = frozenset({"worker-crash", "tenant-slowdown", "conn-drop"})
 
 PLAN_VERSION = 1
 
@@ -143,8 +163,34 @@ class InjectionPlan:
 
     @classmethod
     def load(cls, path: str) -> "InjectionPlan":
-        with open(path, "r", encoding="utf-8") as f:
-            return cls.from_json(json.load(f))
+        """Read a plan file; truncated/corrupt input raises
+        :class:`ConfigError` (usage exit 2 at the CLI) with the path and
+        the parse failure instead of a traceback."""
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                doc = json.load(f)
+        except OSError as exc:
+            raise ConfigError(
+                f"cannot read injection plan {path!r}: {exc}"
+            ) from exc
+        except ValueError as exc:
+            raise ConfigError(
+                f"injection plan {path!r} is not valid JSON "
+                f"(truncated or corrupt?): {exc}"
+            ) from exc
+        if not isinstance(doc, dict):
+            raise ConfigError(
+                f"injection plan {path!r} must be a JSON object, "
+                f"got {type(doc).__name__}"
+            )
+        try:
+            return cls.from_json(doc)
+        except ConfigError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigError(
+                f"malformed injection plan {path!r}: {exc}"
+            ) from exc
 
 
 # Relative weights of each kind in random plans: elasticity (the paper's
@@ -158,6 +204,14 @@ _RANDOM_KINDS = (
     ("migration-storm", 3),
 )
 
+#: Serving-layer weights, only mixed in by ``random_plan(serving=True)``
+#: at ``heavy`` intensity (the kinds are inert without a serving target).
+_RANDOM_SERVING_KINDS = (
+    ("worker-crash", 3),
+    ("tenant-slowdown", 2),
+    ("conn-drop", 2),
+)
+
 _INTENSITY_COUNTS = {"light": 4, "medium": 10, "heavy": 24}
 
 
@@ -166,6 +220,7 @@ def random_plan(
     duration_ns: int = 200 * MS,
     intensity: str = "medium",
     max_remove: int = 2,
+    serving: bool = False,
 ) -> InjectionPlan:
     """Generate a deterministic plan of ``intensity`` spread over
     ``[duration_ns/20, duration_ns]`` of simulated time.
@@ -174,6 +229,12 @@ def random_plan(
     count, so the plan is CPU-neutral and the workload can always finish.
     ``wake-drop`` faults always carry a redelivery window for the same
     reason; build a plan by hand to model a permanent lost wakeup.
+
+    With ``serving=True`` at ``heavy`` intensity the draw also includes
+    the serving-layer kinds (worker-crash / tenant-slowdown / conn-drop);
+    they are skipped harmlessly when replayed against a non-serving
+    workload.  The flag changes which kinds the *same* seed draws, so it
+    is part of the plan's identity, not a post-filter.
     """
     if intensity not in _INTENSITY_COUNTS:
         raise ConfigError(
@@ -184,7 +245,10 @@ def random_plan(
     rng = np.random.default_rng(
         np.random.SeedSequence([int(seed) & 0xFFFFFFFF, 0xC7A05])
     )
-    kinds = [k for k, w in _RANDOM_KINDS for _ in range(w)]
+    weighted = _RANDOM_KINDS
+    if serving and intensity == "heavy":
+        weighted = _RANDOM_KINDS + _RANDOM_SERVING_KINDS
+    kinds = [k for k, w in weighted for _ in range(w)]
     lo, hi = duration_ns // 20, duration_ns
     events: list[FaultEvent] = []
     for _ in range(_INTENSITY_COUNTS[intensity]):
@@ -228,6 +292,31 @@ def random_plan(
         elif kind == "bwd-jitter":
             delta = int(rng.integers(-80 * US, 80 * US))
             events.append(FaultEvent(at, "bwd-jitter", {"delta_ns": delta}))
+        elif kind == "worker-crash":
+            events.append(
+                FaultEvent(
+                    at,
+                    "worker-crash",
+                    {"dead_ns": int(rng.integers(2 * MS, 15 * MS))},
+                )
+            )
+        elif kind == "tenant-slowdown":
+            events.append(
+                FaultEvent(
+                    at,
+                    "tenant-slowdown",
+                    {
+                        "factor": float(rng.integers(2, 7)),
+                        "duration_ns": int(rng.integers(2 * MS, 10 * MS)),
+                    },
+                )
+            )
+        elif kind == "conn-drop":
+            events.append(
+                FaultEvent(
+                    at, "conn-drop", {"count": int(rng.integers(8, 65))}
+                )
+            )
         else:
             events.append(
                 FaultEvent(

@@ -23,11 +23,13 @@ import argparse
 import sys
 
 from .config import optimized_config, vanilla_config
+from .errors import ConfigError
 from .exitcodes import (
     EXIT_CHAOS_VIOLATION,
     EXIT_FAILURE,
     EXIT_FIDELITY_VIOLATION,
     EXIT_OK,
+    EXIT_USAGE,
 )
 from .runners import ablations as ab
 from .runners import figures, format_table
@@ -269,8 +271,70 @@ def cmd_all(args) -> int:
 def cmd_serve(args) -> int:
     from .runners.full_report import main_from_args
 
+    if args.resilience or args.faults:
+        return _serve_resilience_point(args)
     args.sections = ["serve"]
     return main_from_args(args)
+
+
+def _serve_resilience_point(args) -> int:
+    """Ad-hoc overload run: one open-loop serving point under a
+    resilience policy and/or a fault plan (``repro serve --resilience
+    retry-budget --faults plan.json``).  Bad preset names and corrupt
+    plan files raise ConfigError -> usage exit (2)."""
+    import json as _json
+
+    from .chaos import InjectionPlan
+    from .runners.parallel import run_serving_open, vanilla_desc
+    from .workloads.serving import SATURATION_RATE
+
+    resilience = args.resilience
+    if resilience and resilience.lstrip().startswith("{"):
+        resilience = _json.loads(resilience)
+    plan = InjectionPlan.load(args.faults).to_json() if args.faults else None
+    dur, warm = (80.0, 10.0) if args.quick else (300.0, 30.0)
+    rate = SATURATION_RATE * args.rate_frac
+    print(f"serving point: rate {rate / 1e3:.0f} k/s "
+          f"({args.rate_frac:g}x saturation), {dur:.0f} ms horizon, "
+          f"resilience={args.resilience or 'off'}, "
+          f"faults={args.faults or 'none'}")
+    res = run_serving_open(
+        vanilla_desc(4, args.seed), workers=8, rate=rate,
+        duration_ms=dur, warmup_ms=warm,
+        slo={"p99_target_us": 400.0, "p999_target_us": 2000.0,
+             "window_ms": 10.0},
+        resilience=resilience, faults=plan,
+    )
+    lat = res["latency"] or {}
+    slo = res["slo"]
+    print(f"goodput {res['goodput_ops'] / 1e3:.1f} k/s "
+          f"(offered {res['offered_ops'] / 1e3:.1f}), "
+          f"p99 {lat.get('p99', float('nan')):.0f} us, "
+          f"p999 {lat.get('p999', float('nan')):.0f} us, "
+          f"SLO {slo['violations']}/{slo['windows']} windows violated")
+    resil = res.get("resilience")
+    if resil:
+        stats = {k: v for k, v in resil["stats"].items() if v}
+        if stats:
+            print("  " + ", ".join(f"{k}={v}"
+                                   for k, v in sorted(stats.items())))
+        client = resil.get("client")
+        if client:
+            print(f"  amplification {client['amplification']:.3f} "
+                  f"({client['attempts']} attempts / "
+                  f"{client['originals']} originals)")
+        rec = resil.get("recovery")
+        if rec:
+            ttr = rec.get("time_to_recovery_ms")
+            print("  time-to-recovery: "
+                  + (f"{ttr:.1f} ms" if ttr is not None else "none "
+                     "(no clean SLO window after the fault cleared)"))
+    if args.results and args.results != "none":
+        with open(args.results, "w", encoding="utf-8") as f:
+            _json.dump(res, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {args.results}")
+    return 0
 
 
 def cmd_ablations(args) -> int:
@@ -741,6 +805,18 @@ def build_parser() -> argparse.ArgumentParser:
              "tenant colocation with per-tenant SLO tracking",
     )
     add_report_flags(p)
+    p.add_argument("--resilience", default=None, metavar="PRESET",
+                   help="overload-control policy for an ad-hoc open-loop "
+                        "point: a preset name (repro.resilience.PRESETS) "
+                        "or an inline JSON policy dict. Skips the section "
+                        "sweep; see docs/resilience.md")
+    p.add_argument("--faults", default=None, metavar="PLAN.json",
+                   help="serving fault plan (worker-crash / "
+                        "tenant-slowdown / conn-drop events) to inject "
+                        "into the ad-hoc point")
+    p.add_argument("--rate-frac", type=float, default=1.2,
+                   metavar="FRAC", help="offered load as a fraction of "
+                        "saturation for the ad-hoc point (default 1.2)")
     p.set_defaults(fn=cmd_serve, results="results-serve.json")
 
     simple = {
@@ -1004,6 +1080,11 @@ def main(argv: list[str] | None = None) -> int:
         return args.fn(args)
     except BrokenPipeError:  # e.g. ``python -m repro list | head``
         return 0
+    except ConfigError as exc:
+        # Unusable input (corrupt plan/bundle file, unknown preset, bad
+        # policy dict): a structured one-liner, not a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -33,7 +33,11 @@ EXIT_OK = 0
 #: ``repro docs --check`` on a stale file.
 EXIT_FAILURE = 1
 
-#: Command-line usage errors (argparse's own convention).
+#: Command-line usage errors (argparse's own convention).  Also covers
+#: unusable *inputs*: a truncated or corrupt injection plan / replay
+#: bundle file, an unknown resilience preset, or a malformed policy dict
+#: — all raise :class:`~repro.errors.ConfigError`, which the CLI turns
+#: into a one-line structured error instead of a traceback.
 EXIT_USAGE = 2
 
 #: ``repro all --strict`` / ``run_all.py --strict``: one or more
@@ -59,7 +63,9 @@ EXIT_TABLE: list[tuple[int, str, str]] = [
      "`repro chaos replay` (mismatch), `repro adapt` (pinned crash), "
      "`repro docs --check` (drift)"),
     (EXIT_USAGE, "usage error, or partial results under `--strict`",
-     "argparse (bad flags); `repro all --strict` / `run_all.py --strict` "
+     "argparse (bad flags); any command handed a truncated/corrupt plan "
+     "or bundle file or a bad `--resilience` value (ConfigError); "
+     "`repro all --strict` / `run_all.py --strict` "
      "when specs failed after retries"),
     (EXIT_CHAOS_VIOLATION, "kernel invariant violation",
      "`repro chaos run` (a replay bundle is written)"),

@@ -142,6 +142,42 @@ def slo_violation_intervals(
     return merged
 
 
+def fault_recovery_intervals(
+    events: Sequence[TraceEvent],
+) -> list[tuple[Any, int, int | None, int | None]]:
+    """Pair ``resil-worker-dead`` / ``resil-worker-restart`` events into
+    fault -> recovery rows: ``(worker, fault_ns, restart_ns, recovered_ns)``.
+
+    The restart clears the fault; recovery additionally waits out any
+    SLO-violation interval still running at the restart (the queue the
+    dead worker grew keeps violating for a while after it returns).
+    Unmatched faults (run ended while dead) carry ``None``.
+    """
+    restarts = [e for e in events if e.kind == "resil-worker-restart"]
+    spans = [
+        span
+        for tenant_spans in slo_violation_intervals(events).values()
+        for span in tenant_spans
+    ]
+    rows: list[tuple[Any, int, int | None, int | None]] = []
+    for e in events:
+        if e.kind != "resil-worker-dead":
+            continue
+        worker = e.detail.get("worker")
+        restart_ns = next(
+            (r.time for r in restarts
+             if r.detail.get("worker") == worker and r.time >= e.time),
+            None,
+        )
+        recovered_ns = restart_ns
+        if restart_ns is not None:
+            for lo, hi in spans:
+                if lo <= restart_ns and hi > e.time:
+                    recovered_ns = max(recovered_ns, int(hi))
+        rows.append((worker, e.time, restart_ns, recovered_ns))
+    return rows
+
+
 def _lat_line(label: str, values: list[int]) -> list[Any]:
     values.sort()
     return [
@@ -216,6 +252,24 @@ def render_analysis(
         print(f"slo: {n} violated window(s) across "
               f"{sum(len(s) for s in slo.values())} interval(s) — "
               "latency percentiles above include these regions", file=out)
+
+    # Serving-layer faults (resilience subsystem): pair each worker
+    # crash with its restart and the SLO damage it left behind.
+    faults = fault_recovery_intervals(events)
+    if faults:
+        def _ms(t: int | None) -> Any:
+            return "-" if t is None else t / 1e6
+
+        rows = [
+            [f"worker {w}", dead / 1e6, _ms(restart), _ms(rec),
+             "-" if rec is None else (rec - dead) / 1e6]
+            for w, dead, restart, rec in faults
+        ]
+        print(format_table(
+            ["fault", "dead (ms)", "restarted (ms)", "recovered (ms)",
+             "outage (ms)"], rows,
+            title="fault -> recovery intervals", float_fmt="{:.1f}",
+        ), file=out)
 
     rec = recorder_from(events)
     lat_rows = []

@@ -1,0 +1,45 @@
+"""Opt-in overload-resilience layer for the serving workloads.
+
+Deterministic admission control, budgeted retries, circuit breaking and
+recovery metrics on top of the serving scenarios — see
+``docs/resilience.md``.  Everything here is inert unless a
+:class:`ResiliencePolicy` (or a fault plan with serving faults) is
+supplied; default serving runs build none of these objects.
+"""
+
+from .breaker import CircuitBreaker
+from .client import ResilientClients
+from .policy import (
+    ADMISSION_POLICIES,
+    PRESETS,
+    ResiliencePolicy,
+    preset,
+    resolve_policy,
+)
+from .recovery import (
+    ResilienceStats,
+    WindowSeries,
+    fault_clear_ns,
+    plan_clear_ns,
+    time_to_recovery_ns,
+)
+from .server import ADMIT, DROP, REJECT, ServerGuard
+
+__all__ = [
+    "ADMISSION_POLICIES",
+    "ADMIT",
+    "DROP",
+    "PRESETS",
+    "REJECT",
+    "CircuitBreaker",
+    "ResiliencePolicy",
+    "ResilienceStats",
+    "ResilientClients",
+    "ServerGuard",
+    "WindowSeries",
+    "fault_clear_ns",
+    "plan_clear_ns",
+    "preset",
+    "resolve_policy",
+    "time_to_recovery_ns",
+]

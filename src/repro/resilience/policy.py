@@ -1,0 +1,204 @@
+"""Resilience policy: one serializable knob set for overload control.
+
+A :class:`ResiliencePolicy` bundles the three classic serving-stack
+defenses the paper's kernel-side elasticity does not provide:
+
+* **server-side admission control** — a bounded accept queue in front of
+  the epoll workers (``fail-fast`` reject, silent ``tail-drop``, or a
+  CoDel-style sojourn-time shedder) plus priority-aware shedding for
+  multi-tenant colocation;
+* **client-side give-up** — request timeouts, seeded
+  exponential-backoff-with-jitter retries, and a per-tenant retry
+  *budget* (the Finagle rule: retries may not exceed a fixed fraction of
+  original requests);
+* a **per-tenant circuit breaker** (closed/open/half-open over a
+  windowed failure rate) with a graceful-degradation hook: half-open
+  probes are served with a cheaper payload variant.
+
+Everything is a plain frozen dataclass with a JSON round-trip, so a
+policy can ride in an :class:`~repro.runners.parallel.ExperimentSpec`'s
+params (and hence in the result cache key) like any other knob.  The
+default policy is entirely inactive: the serving drivers build zero
+resilience objects, create no RNG substreams, and produce byte-identical
+results (tests/test_resilience.py pins this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from ..errors import ConfigError
+
+ADMISSION_POLICIES = ("off", "fail-fast", "tail-drop", "codel")
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Overload-control knobs for one serving tenant.
+
+    Three independent groups; each stays inert at its default, so any
+    subset can be enabled (``active`` is True when at least one is).
+    """
+
+    # -- server-side admission control --------------------------------
+    admission: str = "off"          #: off | fail-fast | tail-drop | codel
+    queue_limit: int = 512          #: per-worker accept-queue bound
+    codel_target_us: float = 500.0  #: acceptable sojourn time
+    codel_interval_us: float = 2_000.0  #: sustained-excess window
+    priority_classes: int = 1       #: conn % classes; class 0 sheds last
+
+    # -- client-side timeout / retry ----------------------------------
+    timeout_us: float | None = None  #: None disables the client layer
+    max_retries: int = 3
+    backoff_base_us: float = 500.0
+    backoff_mult: float = 2.0
+    jitter: float = 0.5             #: backoff *= 1 + jitter * U[0,1)
+    retry_budget_pct: float | None = None  #: None = unlimited (budgets off)
+
+    # -- per-tenant circuit breaker -----------------------------------
+    breaker: bool = False
+    breaker_window: int = 64        #: rolling outcome ring size
+    breaker_failure_pct: float = 50.0
+    breaker_min_samples: int = 20
+    breaker_open_ms: float = 5.0    #: open-state dead time before probing
+    breaker_probes: int = 8         #: half-open probe count
+    degraded_cost_frac: float = 0.25  #: respond cost of degraded probes
+
+    def __post_init__(self) -> None:
+        if self.admission not in ADMISSION_POLICIES:
+            raise ConfigError(
+                f"admission must be one of {ADMISSION_POLICIES} "
+                f"(got {self.admission!r})"
+            )
+        if self.queue_limit < 1:
+            raise ConfigError("queue_limit must be >= 1")
+        if self.codel_target_us <= 0 or self.codel_interval_us <= 0:
+            raise ConfigError("codel target/interval must be positive")
+        if self.priority_classes < 1:
+            raise ConfigError("priority_classes must be >= 1")
+        if self.timeout_us is not None and self.timeout_us <= 0:
+            raise ConfigError("timeout_us must be positive")
+        if self.max_retries < 0:
+            raise ConfigError("max_retries must be >= 0")
+        if self.backoff_base_us < 0 or self.backoff_mult < 1.0:
+            raise ConfigError("backoff base must be >= 0 and mult >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigError("jitter must be in [0, 1]")
+        if self.retry_budget_pct is not None and self.retry_budget_pct < 0:
+            raise ConfigError("retry_budget_pct must be >= 0")
+        if self.breaker_window < 1 or self.breaker_min_samples < 1:
+            raise ConfigError("breaker window/min_samples must be >= 1")
+        if not 0.0 < self.breaker_failure_pct <= 100.0:
+            raise ConfigError("breaker_failure_pct must be in (0, 100]")
+        if self.breaker_open_ms <= 0 or self.breaker_probes < 1:
+            raise ConfigError("breaker open time/probes must be positive")
+        if not 0.0 < self.degraded_cost_frac <= 1.0:
+            raise ConfigError("degraded_cost_frac must be in (0, 1]")
+
+    # -- activity -----------------------------------------------------
+    @property
+    def admission_active(self) -> bool:
+        return self.admission != "off" or self.priority_classes > 1
+
+    @property
+    def client_active(self) -> bool:
+        return self.timeout_us is not None
+
+    @property
+    def active(self) -> bool:
+        return self.admission_active or self.client_active or self.breaker
+
+    # -- JSON round-trip ----------------------------------------------
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ResiliencePolicy":
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(d) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown resilience policy field(s): {sorted(unknown)}"
+            )
+        return cls(**d)
+
+
+def _p(**kw) -> ResiliencePolicy:
+    return ResiliencePolicy(**kw)
+
+
+#: Named policy bundles for ``repro serve --resilience <preset>`` and the
+#: ``serve/resil/*`` report specs.  ``docs/resilience.md`` documents each.
+PRESETS: dict[str, ResiliencePolicy] = {
+    # Bounded accept queue, reject at the door: the client hears about
+    # overload immediately instead of waiting in a doomed queue.
+    "shed-fail-fast": _p(admission="fail-fast", queue_limit=16),
+    # Same bound, silent drop: the client only learns via its timeout.
+    "shed-tail-drop": _p(admission="tail-drop", queue_limit=16),
+    # CoDel-style sojourn shedder: drop at dequeue once queueing delay
+    # stays above target for a full interval — keeps the queue short
+    # without a hard size cliff.
+    "shed-codel": _p(admission="codel", queue_limit=4096,
+                     codel_target_us=500.0, codel_interval_us=2_000.0),
+    # The negative control: timeouts + retries with NO budget.  Under
+    # overload every timed-out request is retried while its original
+    # still sits in the queue — the classic retry storm.
+    "retry-storm": _p(timeout_us=1_500.0, max_retries=3,
+                      backoff_base_us=500.0, backoff_mult=2.0, jitter=0.5),
+    # The fix: identical retry policy plus a 10% per-tenant budget.
+    "retry-budget": _p(timeout_us=1_500.0, max_retries=3,
+                       backoff_base_us=500.0, backoff_mult=2.0, jitter=0.5,
+                       retry_budget_pct=10.0),
+    # Budgeted retries + a circuit breaker that opens on the windowed
+    # failure rate and probes half-open with degraded responses.
+    "breaker": _p(timeout_us=1_500.0, max_retries=1,
+                  backoff_base_us=500.0, backoff_mult=2.0, jitter=0.5,
+                  retry_budget_pct=10.0,
+                  breaker=True, breaker_window=64,
+                  breaker_failure_pct=50.0, breaker_min_samples=20,
+                  breaker_open_ms=5.0, breaker_probes=8,
+                  degraded_cost_frac=0.25),
+    # Everything on, plus two priority classes for colocation: when the
+    # queue passes half its bound, low-priority connections shed first.
+    "full": _p(admission="codel", queue_limit=4096,
+               codel_target_us=500.0, codel_interval_us=2_000.0,
+               priority_classes=2,
+               timeout_us=1_500.0, max_retries=1,
+               backoff_base_us=500.0, backoff_mult=2.0, jitter=0.5,
+               retry_budget_pct=10.0,
+               breaker=True),
+}
+
+
+def preset(name: str) -> ResiliencePolicy:
+    """Look up a preset by name (:class:`ConfigError` on an unknown one)."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown resilience preset {name!r}; "
+            f"expected one of {sorted(PRESETS)}"
+        ) from None
+
+
+def resolve_policy(value) -> ResiliencePolicy | None:
+    """Coerce a runner param (None, preset name, dict, or policy)."""
+    if value is None or isinstance(value, ResiliencePolicy):
+        return value
+    if isinstance(value, str):
+        return preset(value)
+    if isinstance(value, dict):
+        return ResiliencePolicy.from_dict(value)
+    raise ConfigError(
+        f"resilience must be a preset name or a policy dict "
+        f"(got {type(value).__name__})"
+    )
+
+
+__all__ = [
+    "ADMISSION_POLICIES",
+    "PRESETS",
+    "ResiliencePolicy",
+    "preset",
+    "resolve_policy",
+]

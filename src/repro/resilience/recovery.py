@@ -1,0 +1,126 @@
+"""Recovery metrics: counters, goodput-vs-offered series, time-to-recovery.
+
+:class:`ResilienceStats` is the single counter block every resilience
+component increments; it lands in the serving result's ``resilience``
+dict, in the schedstats snapshot (and from there in the OpenMetrics
+export — docs/telemetry.md), and in ``repro analyze`` summaries.
+
+:func:`time_to_recovery_ns` implements the recovery definition used by
+the ``serve/resil/crash-recovery`` fidelity spec: the delay from a fault
+*clearing* to the end of the first subsequent SLO window that both saw
+completions and met the SLO.  A run that never produces such a window
+(still collapsed at the horizon) has no recovery — ``None``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..chaos.faults import InjectionPlan
+    from ..workloads.serving import SloTracker
+
+MS = 1_000_000
+
+
+@dataclass
+class ResilienceStats:
+    """What the resilience layer actually did, as plain counters."""
+
+    # admission control (server side)
+    shed_queue: int = 0        #: fail-fast/tail-drop queue-bound sheds
+    shed_codel: int = 0        #: CoDel sojourn-time sheds at dequeue
+    shed_priority: int = 0     #: low-priority sheds under pressure
+    # client layer
+    timeouts: int = 0
+    retries: int = 0
+    retries_denied: int = 0    #: retry wanted but the budget was empty
+    rejected: int = 0          #: fail-fast rejections seen by the client
+    breaker_rejected: int = 0  #: sends refused while the breaker was open
+    failed: int = 0            #: logical requests that gave up for good
+    degraded: int = 0          #: half-open probes served degraded
+    duplicates: int = 0        #: completions for already-settled requests
+    # serving-layer chaos fallout
+    crash_lost: int = 0        #: requests lost inside a crashing worker
+    conn_dropped: int = 0      #: requests dropped by conn-drop faults
+    worker_restarts: int = 0
+    # end-of-run accounting (satellite: no leaked in-flight requests)
+    cancelled_in_flight: int = 0
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+@dataclass
+class WindowSeries:
+    """Per-SLO-window offered/completed counts (goodput-vs-offered)."""
+
+    t0: int
+    window_ns: int
+    offered: list = field(default_factory=list)
+    completed: list = field(default_factory=list)
+
+    def _bump(self, series: list, now: int) -> None:
+        if now < self.t0:
+            return
+        idx = (now - self.t0) // self.window_ns
+        while len(series) <= idx:
+            series.append(0)
+        series[idx] += 1
+
+    def offer(self, now: int) -> None:
+        self._bump(self.offered, now)
+
+    def complete(self, now: int) -> None:
+        self._bump(self.completed, now)
+
+    def as_dict(self) -> dict:
+        n = max(len(self.offered), len(self.completed))
+        pad = lambda s: s + [0] * (n - len(s))  # noqa: E731
+        return {
+            "window_ms": self.window_ns / MS,
+            "offered": pad(list(self.offered)),
+            "completed": pad(list(self.completed)),
+        }
+
+
+def fault_clear_ns(at_ns: int, kind: str, params: dict) -> int:
+    """When a fault's effect ends (injection time + its dead/duration)."""
+    if kind == "worker-crash":
+        return at_ns + int(params.get("dead_ns", 10 * MS))
+    duration = params.get("duration_ns")
+    return at_ns + (int(duration) if duration else 0)
+
+
+def plan_clear_ns(plan: "InjectionPlan") -> int | None:
+    """Latest clear time across a plan's events (None for empty plans)."""
+    if not plan.events:
+        return None
+    return max(
+        fault_clear_ns(e.at_ns, e.kind, e.params) for e in plan.events
+    )
+
+
+def time_to_recovery_ns(
+    tracker: "SloTracker", clear_ns: int
+) -> int | None:
+    """Delay from ``clear_ns`` to the end of the first clean SLO window.
+
+    Clean means: the window starts at/after the fault cleared, saw at
+    least one completion, and did not violate the SLO.  Windows the
+    tracker skipped entirely (no completions) are *not* clean — a fully
+    stalled server must not count as recovered.
+    """
+    log = tracker.window_log()
+    if not log:
+        return None
+    by_idx = {idx: (count, violated) for idx, count, violated in log}
+    w = tracker.window_ns
+    # First window starting at/after clear_ns (ceil, clamped at 0).
+    start_idx = max(0, -(-(clear_ns - tracker.t0) // w))
+    for idx in range(start_idx, max(by_idx) + 1):
+        count, violated = by_idx.get(idx, (0, True))
+        if count > 0 and not violated:
+            return tracker.t0 + (idx + 1) * w - clear_ns
+    return None

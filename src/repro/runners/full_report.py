@@ -756,6 +756,70 @@ def _specs_serve(p: ReportParams) -> list[ExperimentSpec]:
         for mode, settings in _SERVE_COLO_MODES
         for setting in settings
     ]
+    specs += _specs_resil(p, van, common)
+    return specs
+
+
+def _resil_crash_plan(p: ReportParams, warm: float) -> dict:
+    """Worker-0 crash 20 ms after warmup ends, dead for 15 ms."""
+    return {
+        "seed": p.seed,
+        "events": [{"at_ns": int((warm + 20.0) * 1e6),
+                    "kind": "worker-crash",
+                    "params": {"worker": 0, "dead_ns": 15_000_000}}],
+    }
+
+
+def _specs_resil(p: ReportParams, van: dict, common: dict) -> list[ExperimentSpec]:
+    """Overload-resilience points (ROADMAP robustness; beyond the paper).
+
+    The storm/budget pair is the retry-amplification experiment: same
+    overloaded point (1.2x saturation), timeouts + retries with the
+    per-tenant retry budget off vs on.  ``shed`` and ``breaker`` put
+    admission control and the circuit breaker against the same overload;
+    ``crash`` kills worker 0 mid-run under a retry-budget client and
+    reports time-to-recovery; ``colo`` runs the ``full`` preset beside
+    the batch tenant; ``identity`` pins the default-off guarantee.
+    """
+    warm = common["warmup_ms"]
+    overload = _SERVE_SAT * 1.2
+    specs = [
+        ExperimentSpec(
+            id=f"serve/resil/{label}",
+            runner="serving_open",
+            params={"config": van, "workers": _SERVE_WORKERS,
+                    "rate": overload, "resilience": preset, **common},
+            seed=p.seed,
+        )
+        for label, preset in (("storm", "retry-storm"),
+                              ("budget", "retry-budget"),
+                              ("shed", "shed-fail-fast"),
+                              ("breaker", "breaker"))
+    ]
+    specs.append(ExperimentSpec(
+        id="serve/resil/crash",
+        runner="serving_open",
+        params={"config": van, "workers": _SERVE_WORKERS,
+                "rate": _SERVE_SAT * 0.5, "resilience": "retry-budget",
+                "faults": _resil_crash_plan(p, warm), **common},
+        seed=p.seed,
+    ))
+    specs.append(ExperimentSpec(
+        id="serve/resil/colo",
+        runner="serving_colo",
+        params={"config": van, "workers": _SERVE_WORKERS,
+                "rate": _SERVE_COLO_RATE, "batch_kernel": "cg",
+                "batch_threads": 16, "resilience": "full", **common},
+        seed=p.seed,
+    ))
+    specs.append(ExperimentSpec(
+        id="serve/resil/identity",
+        runner="resilience_identity",
+        params={"config": van, "workers": _SERVE_WORKERS,
+                "rate": _SERVE_SAT * 0.9,
+                "duration_ms": 30.0, "warmup_ms": 5.0},
+        seed=p.seed,
+    ))
     return specs
 
 
@@ -807,10 +871,48 @@ def _render_serve(p: ReportParams, res: dict, out: TextIO) -> None:
                 _serve_row(f"{mode}/{setting}", r["serve"])
                 + [r["batch"]["progress_actions"]]
             )
+    rc = res["serve/resil/colo"]
+    colo_rows.append(
+        _serve_row("native/vanilla+resil", rc["serve"])
+        + [rc["batch"]["progress_actions"]]
+    )
     print(format_table(
         _SERVE_COLUMNS + ["batch actions"], colo_rows,
         title="colocation (serve tenant + NPB cg x16)", float_fmt="{:.1f}",
     ), file=out)
+    resil_rows = []
+    for label in ("storm", "budget", "shed", "breaker", "crash"):
+        r = res[f"serve/resil/{label}"]
+        resil = r["resilience"]
+        stats = resil["stats"]
+        client = resil.get("client") or {}
+        rec = resil.get("recovery") or {}
+        ttr = rec.get("time_to_recovery_ms")
+        lat = r["latency"] or {}
+        resil_rows.append([
+            label,
+            r["goodput_ops"] / 1e3,
+            lat.get("p99", float("nan")),
+            lat.get("p999", float("nan")),
+            client.get("amplification", 1.0),
+            stats["timeouts"],
+            stats["retries"],
+            (stats["shed_queue"] + stats["shed_codel"]
+             + stats["shed_priority"]),
+            "-" if ttr is None else f"{ttr:.1f}",
+        ])
+    print(format_table(
+        ["policy", "goodput k/s", "p99 us", "p999 us", "amplif",
+         "timeouts", "retries", "shed", "TTR ms"],
+        resil_rows,
+        title="overload resilience (1.2x overload; crash point at 0.5x)",
+        float_fmt="{:.2f}",
+    ), file=out)
+    ident = res["serve/resil/identity"]
+    print(f"resilience-off identity: "
+          f"{'byte-identical' if ident['identical'] else 'DIVERGED'} "
+          f"(plain {ident['digest_plain'][:12]} vs "
+          f"policy-off {ident['digest_policy_off'][:12]})\n", file=out)
 
 
 @dataclass(frozen=True)

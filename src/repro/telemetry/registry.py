@@ -245,4 +245,14 @@ def registry_from_schedstats(
         f"{prefix}latency_ns", "kernel latency distributions", ("probe",))
     for name, hd in stats.get("hists", {}).items():
         lat.merge_from(Log2Histogram.from_dict(hd), probe=name)
+
+    # Overload-resilience counters (only present when a serving run had a
+    # policy or fault plan active; docs/resilience.md).
+    resil = stats.get("resilience")
+    if resil:
+        family = reg.counter(
+            f"{prefix}resilience_events",
+            "overload-control events by kind", ("event",))
+        for event, value in sorted(resil.items()):
+            family.inc(value, event=event)
     return reg

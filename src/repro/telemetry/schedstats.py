@@ -103,7 +103,7 @@ def snapshot(kernel: "Kernel") -> dict[str, Any]:
         "block_ns": sum(t["block_ns"] for t in tasks),
     }
 
-    return {
+    snap = {
         "schedstats_enabled": kernel._schedstats,
         "machine": machine,
         "pressure": pressure_dict(kernel),
@@ -113,3 +113,10 @@ def snapshot(kernel: "Kernel") -> dict[str, Any]:
             name: h.to_dict() for name, h in sorted(kernel.hists.items())
         },
     }
+    # Serving runs under a resilience policy or fault plan attach their
+    # overload-control counters to the kernel; absent otherwise, so
+    # default snapshots are unchanged.
+    resil = getattr(kernel, "resilience_stats", None)
+    if resil is not None:
+        snap["resilience"] = resil.as_dict()
+    return snap

@@ -331,6 +331,14 @@ class ClosedLoopClients:
         self.book = _LatencyBook(kernel, warmup_ns)
         self.sent = 0
         self.sent_measured = 0
+        # In-flight requests by identity: completions are only booked for
+        # requests actually outstanding, so a duplicate (or a completion
+        # arriving after the run was cancelled) cannot re-arm a
+        # connection or leak into the latency accounting.
+        self._inflight: dict[int, ClientRequest] = {}
+        self.failed = 0
+        self.duplicate_completions = 0
+        self.cancelled = 0
 
     def start(self) -> None:
         """Arm every connection with a staggered first request.
@@ -356,18 +364,46 @@ class ClosedLoopClients:
             self.sent += 1
             if self.book.in_measured_window():
                 self.sent_measured += 1
-            self.submit(
-                ClientRequest(
-                    conn, self.kernel.now, self.payload_fn(self.rng)
-                )
+            req = ClientRequest(
+                conn, self.kernel.now, self.payload_fn(self.rng)
             )
+            self._inflight[id(req)] = req
+            self.submit(req)
 
         self.kernel.engine.schedule(max(0, delay_ns), fire)
 
-    def complete(self, request: ClientRequest) -> None:
-        """Server-side completion hook: record latency, think, resend."""
+    def complete(self, request: ClientRequest) -> bool:
+        """Server-side completion hook: record latency, think, resend.
+
+        Returns False (and books nothing, re-arms nothing) for a request
+        that is not in flight — a duplicate completion or one arriving
+        after :meth:`cancel_in_flight`."""
+        if self._inflight.pop(id(request), None) is None:
+            self.duplicate_completions += 1
+            return False
         self.book.record(request.arrival_ns)
         self._arm(request.conn, int(self.rng.exponential(self.think_ns)))
+        return True
+
+    def fail(self, request: ClientRequest) -> None:
+        """A logical request gave up for good (resilience layer): the
+        connection thinks and re-arms, but nothing is booked."""
+        if self._inflight.pop(id(request), None) is None:
+            return
+        self.failed += 1
+        self._arm(request.conn, int(self.rng.exponential(self.think_ns)))
+
+    def cancel_in_flight(self) -> int:
+        """Drop every outstanding request at end of run; late completions
+        become counted duplicates instead of phantom samples."""
+        n = len(self._inflight)
+        self._inflight.clear()
+        self.cancelled += n
+        return n
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._inflight)
 
     # -- results ---------------------------------------------------------
     @property
@@ -426,6 +462,11 @@ class OpenLoopClients:
         self._conn = 0
         self._stopped = False
         self._t0 = 0
+        # Same in-flight discipline as the closed loop (see there).
+        self._inflight: dict[int, ClientRequest] = {}
+        self.failed = 0
+        self.duplicate_completions = 0
+        self.cancelled = 0
         # Constant schedules keep the direct single-draw path (identical
         # RNG consumption to the pre-schedule implementation).
         self._constant = schedule.is_constant
@@ -518,13 +559,39 @@ class OpenLoopClients:
         self.sent += 1
         if self.book.in_measured_window():
             self.sent_measured += 1
-        self.submit(
-            ClientRequest(self._conn, self.kernel.now, self.payload_fn(self.rng))
+        req = ClientRequest(
+            self._conn, self.kernel.now, self.payload_fn(self.rng)
         )
+        self._inflight[id(req)] = req
+        self.submit(req)
         self._schedule_next()
 
-    def complete(self, request: ClientRequest) -> None:
+    def complete(self, request: ClientRequest) -> bool:
+        """Book one completion; False for duplicates / cancelled requests
+        (see :meth:`ClosedLoopClients.complete`)."""
+        if self._inflight.pop(id(request), None) is None:
+            self.duplicate_completions += 1
+            return False
         self.book.record(request.arrival_ns)
+        return True
+
+    def fail(self, request: ClientRequest) -> None:
+        """A logical request gave up for good: arrivals are independent
+        of completions, so only the accounting changes."""
+        if self._inflight.pop(id(request), None) is not None:
+            self.failed += 1
+
+    def cancel_in_flight(self) -> int:
+        """Drop every outstanding request at end of run; late completions
+        become counted duplicates instead of phantom samples."""
+        n = len(self._inflight)
+        self._inflight.clear()
+        self.cancelled += n
+        return n
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._inflight)
 
     @property
     def completed(self) -> int:

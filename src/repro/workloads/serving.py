@@ -121,9 +121,14 @@ class SloTracker:
         self._cur_idx: int | None = None
         self._cur_hist = Log2Histogram(f"{tenant}.window")
         self._closed = False
+        # (idx, completions, violated) per evaluated window — what the
+        # recovery metrics walk; bounded by the run's window count.
+        self._window_log: list[tuple[int, int, bool]] = []
 
     # -- recording -------------------------------------------------------
     def record(self, latency_ns: int) -> None:
+        if self._closed:
+            return  # the run is over; a straggler can't reopen a window
         now = self.kernel.now
         if now < self.t0:
             return  # warmup: not part of any window
@@ -160,6 +165,7 @@ class SloTracker:
             self.policy.p999_target_us is not None
             and p999_us > self.policy.p999_target_us
         )
+        self._window_log.append((idx, hist.count, violated))
         if not violated:
             return
         self.violations += 1
@@ -176,6 +182,11 @@ class SloTracker:
                 p99_us=round(p99_us, 3), p999_us=round(p999_us, 3),
                 p99_target_us=self.policy.p99_target_us,
             )
+
+    def window_log(self) -> list[tuple[int, int, bool]]:
+        """(idx, completions, violated) for every evaluated window.
+        Windows with no completions have no entry (they were empty)."""
+        return list(self._window_log)
 
     # -- results ---------------------------------------------------------
     def result(self) -> dict:
@@ -225,8 +236,16 @@ DEFAULT_SLO = SloPolicy(p99_target_us=400.0, p999_target_us=2_000.0,
                         window_ms=10.0)
 
 
-def _spawn_server(kernel: Kernel, sc: ServingConfig, finish) -> list:
-    """Spawn the epoll worker pool; returns the per-worker epoll list."""
+def _spawn_server(kernel: Kernel, sc: ServingConfig, finish,
+                  guard=None) -> list:
+    """Spawn the epoll worker pool; returns the per-worker epoll list.
+
+    Without a guard this is the pristine worker loop (default serving
+    runs must stay byte-identical).  With a
+    :class:`~repro.resilience.server.ServerGuard` each worker also
+    honors CoDel shedding, tenant-slowdown scaling, degraded (half-open
+    probe) responses, and crash-and-restart faults.
+    """
     epolls = [EpollInstance(f"srv{i}.ep") for i in range(sc.workers)]
     locks = [Mutex(f"srv.hash{j}") for j in range(sc.lock_stripes)]
     act_parse = Compute(sc.parse_ns)
@@ -235,34 +254,75 @@ def _spawn_server(kernel: Kernel, sc: ServingConfig, finish) -> list:
     act_acquire = [MutexAcquire(lk) for lk in locks]
     act_release = [MutexRelease(lk) for lk in locks]
     stripes = sc.lock_stripes
+    # The server's connection/table state is cache-heavy, like memcached.
+    profile = ExecProfile(migration_weight=4.0)
+
+    if guard is None:
+        def worker(i: int):
+            wait = EpollWait(epolls[i])
+            while True:
+                batch = yield wait
+                for req in batch:
+                    yield act_parse
+                    bucket = req.payload % stripes
+                    yield act_acquire[bucket]
+                    yield act_work
+                    yield act_release[bucket]
+                    yield act_respond
+                    finish(req)
+
+        for i in range(sc.workers):
+            kernel.spawn(worker(i), name=f"srv.worker{i}", profile=profile)
+        return epolls
+
+    policy = guard.policy
+    frac = policy.degraded_cost_frac if policy is not None else 0.25
+    act_respond_cheap = Compute(max(1, int(sc.respond_ns * frac)))
 
     def worker(i: int):
         wait = EpollWait(epolls[i])
         while True:
             batch = yield wait
+            if guard.worker_crashes_now(i):
+                guard.note_crash(i, batch)
+                return  # the task dies; guard schedules the respawn
+            scale = guard.work_scale(kernel.now)
+            act_slow = (act_work if scale == 1.0
+                        else Compute(max(1, int(sc.work_cs_ns * scale))))
             for req in batch:
+                if not guard.serve_ok(req, kernel.now):
+                    continue  # CoDel shed at dequeue: silently dropped
                 yield act_parse
                 bucket = req.payload % stripes
                 yield act_acquire[bucket]
-                yield act_work
+                yield act_slow
                 yield act_release[bucket]
-                yield act_respond
+                if getattr(req, "degraded", False):
+                    yield act_respond_cheap
+                else:
+                    yield act_respond
                 finish(req)
 
-    # The server's connection/table state is cache-heavy, like memcached.
-    profile = ExecProfile(migration_weight=4.0)
+    restarts = [0]
+
+    def respawn(i: int) -> None:
+        restarts[0] += 1
+        kernel.spawn(worker(i), name=f"srv.worker{i}.r{restarts[0]}",
+                     profile=profile)
+
+    guard.respawn = respawn
     for i in range(sc.workers):
         kernel.spawn(worker(i), name=f"srv.worker{i}", profile=profile)
     return epolls
 
 
 def _serve_result(kernel: Kernel, clients, tracker: SloTracker,
-                  measured_ns: int) -> dict:
+                  measured_ns: int, resilience: dict | None = None) -> dict:
     tracker.close()
     summary = (clients.latency_summary().as_dict()
                if clients.completed else None)
     stats = collect(kernel)
-    return {
+    result = {
         "sent": clients.sent,
         "sent_measured": clients.sent_measured,
         "completed": clients.completed,
@@ -273,36 +333,197 @@ def _serve_result(kernel: Kernel, clients, tracker: SloTracker,
         "utilization_pct": stats.cpu_utilization_pct,
         "context_switches": stats.context_switches,
     }
+    if resilience is not None:
+        # Only present when a policy or fault plan was active, so
+        # default results stay byte-identical.
+        result["resilience"] = resilience
+    return result
+
+
+class _ResilienceRig:
+    """Everything the resilience layer adds to one serving driver.
+
+    Built only when a policy is active or a fault plan is installed;
+    default runs never construct one (``build`` returns None), which is
+    what keeps them byte-identical to the pre-resilience code.
+    """
+
+    def __init__(self, kernel: Kernel, policy, faults,
+                 tracker: SloTracker):
+        from ..resilience import (
+            CircuitBreaker,
+            ResilienceStats,
+            ResilientClients,
+            ServerGuard,
+            WindowSeries,
+        )
+
+        self.kernel = kernel
+        self.policy = policy
+        self.faults = faults
+        self.tracker = tracker
+        self.stats = ResilienceStats()
+        self.series = WindowSeries(tracker.t0, tracker.window_ns)
+        self.guard = ServerGuard(kernel, policy, [], self.stats)
+        kernel.resilience_stats = self.stats
+        chaos = getattr(kernel, "_chaos", None)
+        if chaos is not None:
+            chaos.serving = self.guard
+        self.breaker = None
+        self.client = None
+        if policy is not None and policy.client_active:
+            if policy.breaker:
+                self.breaker = CircuitBreaker(kernel, policy)
+            self.client = ResilientClients(
+                kernel, policy, transport=self._transport,
+                stats=self.stats, breaker=self.breaker, series=self.series,
+            )
+        self._route = None  # set by bind(): req -> epoll
+
+    @staticmethod
+    def build(kernel: Kernel, policy, faults, tracker: SloTracker):
+        active = (policy is not None and policy.active) or faults is not None
+        if not active:
+            return None
+        return _ResilienceRig(kernel, policy, faults, tracker)
+
+    # -- driver wiring --------------------------------------------------
+    def bind(self, route) -> None:
+        self._route = route
+
+    def _transport(self, req) -> str:
+        from ..resilience import ADMIT
+
+        ep = self._route(req)
+        verdict = self.guard.admit(req, ep)
+        if verdict == ADMIT:
+            # CoDel measures dequeue-time sojourn from here (retries
+            # re-enter the queue later than their original arrival).
+            object.__setattr__(req, "enqueue_ns", self.kernel.now)
+            self.kernel.epoll_post(ep, req)
+        return verdict
+
+    def submit(self, req) -> None:
+        """The load generator's ingress."""
+        if self.client is not None:
+            self.client.send(req)
+            return
+        self.series.offer(self.kernel.now)
+        self._transport(req)
+
+    def finish(self, req):
+        """Map a server completion back to the original request, or None
+        when it must not be booked (duplicate / failed / shed)."""
+        if self.client is not None:
+            return self.client.server_finish(req)
+        self.series.complete(self.kernel.now)
+        return req
+
+    def close(self) -> None:
+        if self.client is not None:
+            self.client.close()
+
+    # -- result block ---------------------------------------------------
+    def result(self) -> dict:
+        from ..resilience import plan_clear_ns, time_to_recovery_ns
+
+        block: dict = {
+            "policy": None if self.policy is None else self.policy.as_dict(),
+            "stats": self.stats.as_dict(),
+            "series": self.series.as_dict(),
+        }
+        if self.client is not None:
+            block["client"] = self.client.as_dict()
+        if self.breaker is not None:
+            block["breaker"] = self.breaker.as_dict()
+        if self.faults is not None:
+            clear = plan_clear_ns(self.faults)
+            ttr = (None if clear is None
+                   else time_to_recovery_ns(self.tracker, clear))
+            block["recovery"] = {
+                "fault_clear_ns": clear,
+                "time_to_recovery_ns": ttr,
+                "time_to_recovery_ms": None if ttr is None else ttr / MS,
+            }
+        return block
 
 
 def _drive(kernel: Kernel, sc: ServingConfig, make_clients, tenant: str,
-           slo: SloPolicy, duration_ms: float, warmup_ms: float) -> dict:
+           slo: SloPolicy, duration_ms: float, warmup_ms: float,
+           policy=None, faults=None) -> dict:
     """Shared open/closed-loop driver for a single-tenant server."""
     horizon = int(duration_ms * MS)
     warmup = int(warmup_ms * MS)
     tracker = SloTracker(kernel, tenant, slo, warmup_ns=warmup)
     box: list = [None]
+    rig = _ResilienceRig.build(kernel, policy, faults, tracker)
 
     def finish(req) -> None:
         clients = box[0]
+        if rig is not None:
+            req = rig.finish(req)
+            if req is None:
+                return
         lat = kernel.now - req.arrival_ns
-        clients.complete(req)
+        if not clients.complete(req):
+            return
         if clients.book.in_measured_window():
             tracker.record(lat)
 
-    epolls = _spawn_server(kernel, sc, finish)
+    epolls = _spawn_server(kernel, sc, finish,
+                           guard=None if rig is None else rig.guard)
 
-    def submit(req) -> None:
-        kernel.epoll_post(epolls[req.conn % sc.workers], req)
+    if rig is None:
+        def submit(req) -> None:
+            kernel.epoll_post(epolls[req.conn % sc.workers], req)
+    else:
+        rig.guard.attach(epolls)
+        rig.bind(lambda req: epolls[req.conn % sc.workers])
+        submit = rig.submit
 
     clients = make_clients(submit, warmup)
     box[0] = clients
+    if rig is not None and rig.client is not None:
+        rig.client.on_fail = clients.fail
     clients.start()
     kernel.run_for(horizon)
     if isinstance(clients, OpenLoopClients):
         clients.stop()
+    if rig is not None:
+        rig.close()
+    clients.cancel_in_flight()
     kernel.shutdown()
-    return _serve_result(kernel, clients, tracker, horizon - warmup)
+    tracker.close()  # before rig.result(): recovery walks the window log
+    return _serve_result(kernel, clients, tracker, horizon - warmup,
+                         resilience=None if rig is None else rig.result())
+
+
+def _resolve_serving_knobs(resilience, faults):
+    """Coerce the runner-facing knobs: a policy (preset name / dict /
+    instance / None) and a fault plan (path / plan-JSON dict / instance /
+    None).  Returns ``(policy, plan, kernel_ctx)`` where ``kernel_ctx``
+    installs the chaos controller on kernels built inside it."""
+    from contextlib import nullcontext
+
+    from ..chaos import InjectionPlan, chaos_session
+    from ..resilience import resolve_policy
+
+    policy = resolve_policy(resilience)
+    if faults is None or isinstance(faults, InjectionPlan):
+        plan = faults
+    elif isinstance(faults, str):
+        plan = InjectionPlan.load(faults)
+    elif isinstance(faults, dict):
+        plan = InjectionPlan.from_json(faults)
+    else:
+        from ..errors import ConfigError
+
+        raise ConfigError(
+            f"faults must be a plan, plan dict, or plan path "
+            f"(got {type(faults).__name__})"
+        )
+    ctx = nullcontext() if plan is None else chaos_session(plan)
+    return policy, plan, ctx
 
 
 def open_loop_serve(
@@ -312,18 +533,22 @@ def open_loop_serve(
     duration_ms: float = 100.0,
     warmup_ms: float = 10.0,
     slo: SloPolicy = DEFAULT_SLO,
+    resilience=None,
+    faults=None,
 ) -> dict:
     """One open-loop serving run: Poisson (or scheduled) arrivals."""
     sc = sc or ServingConfig()
-    kernel = Kernel(sim_config)
-    payload = _payload_fn(sc.lock_stripes)
+    policy, plan, ctx = _resolve_serving_knobs(resilience, faults)
+    with ctx:
+        kernel = Kernel(sim_config)
+        payload = _payload_fn(sc.lock_stripes)
 
-    def make_clients(submit, warmup):
-        return OpenLoopClients(kernel, submit, rate_per_sec=rate,
-                               payload_fn=payload, warmup_ns=warmup)
+        def make_clients(submit, warmup):
+            return OpenLoopClients(kernel, submit, rate_per_sec=rate,
+                                   payload_fn=payload, warmup_ns=warmup)
 
-    return _drive(kernel, sc, make_clients, "serve", slo,
-                  duration_ms, warmup_ms)
+        return _drive(kernel, sc, make_clients, "serve", slo,
+                      duration_ms, warmup_ms, policy=policy, faults=plan)
 
 
 def closed_loop_serve(
@@ -334,20 +559,25 @@ def closed_loop_serve(
     duration_ms: float = 100.0,
     warmup_ms: float = 10.0,
     slo: SloPolicy = DEFAULT_SLO,
+    resilience=None,
+    faults=None,
 ) -> dict:
     """The closed-loop comparison point: in-flight capped at
     ``connections``, so overload self-limits instead of collapsing."""
     sc = sc or ServingConfig()
-    kernel = Kernel(sim_config)
-    payload = _payload_fn(sc.lock_stripes)
+    policy, plan, ctx = _resolve_serving_knobs(resilience, faults)
+    with ctx:
+        kernel = Kernel(sim_config)
+        payload = _payload_fn(sc.lock_stripes)
 
-    def make_clients(submit, warmup):
-        return ClosedLoopClients(kernel, submit, connections=connections,
-                                 think_ns=int(think_us * US),
-                                 payload_fn=payload, warmup_ns=warmup)
+        def make_clients(submit, warmup):
+            return ClosedLoopClients(kernel, submit,
+                                     connections=connections,
+                                     think_ns=int(think_us * US),
+                                     payload_fn=payload, warmup_ns=warmup)
 
-    return _drive(kernel, sc, make_clients, "serve", slo,
-                  duration_ms, warmup_ms)
+        return _drive(kernel, sc, make_clients, "serve", slo,
+                      duration_ms, warmup_ms, policy=policy, faults=plan)
 
 
 def _payload_fn(stripes: int):
@@ -367,6 +597,8 @@ def colocation_run(
     duration_ms: float = 100.0,
     warmup_ms: float = 10.0,
     slo: SloPolicy = DEFAULT_SLO,
+    resilience=None,
+    faults=None,
 ) -> dict:
     """A latency-critical tenant and a batch tenant on one kernel.
 
@@ -382,64 +614,87 @@ def colocation_run(
     cooperation from the region structure.
     """
     sc = sc or ServingConfig()
-    kernel = Kernel(sim_config)
-    horizon = int(duration_ms * MS)
-    warmup = int(warmup_ms * MS)
-    tracker = SloTracker(kernel, "serve", slo, warmup_ns=warmup)
-    box: list = [None]
+    policy, plan, ctx = _resolve_serving_knobs(resilience, faults)
+    with ctx:
+        kernel = Kernel(sim_config)
+        horizon = int(duration_ms * MS)
+        warmup = int(warmup_ms * MS)
+        tracker = SloTracker(kernel, "serve", slo, warmup_ns=warmup)
+        box: list = [None]
+        rig = _ResilienceRig.build(kernel, policy, plan, tracker)
 
-    def finish(req) -> None:
-        clients = box[0]
-        lat = kernel.now - req.arrival_ns
-        clients.complete(req)
-        if clients.book.in_measured_window():
-            tracker.record(lat)
+        def finish(req) -> None:
+            clients = box[0]
+            if rig is not None:
+                req = rig.finish(req)
+                if req is None:
+                    return
+            lat = kernel.now - req.arrival_ns
+            if not clients.complete(req):
+                return
+            if clients.book.in_measured_window():
+                tracker.record(lat)
 
-    epolls = _spawn_server(kernel, sc, finish)
+        epolls = _spawn_server(kernel, sc, finish,
+                               guard=None if rig is None else rig.guard)
 
-    def submit(req) -> None:
-        kernel.epoll_post(epolls[req.conn % sc.workers], req)
+        if rig is None:
+            def submit(req) -> None:
+                kernel.epoll_post(epolls[req.conn % sc.workers], req)
+        else:
+            rig.guard.attach(epolls)
+            rig.bind(lambda req: epolls[req.conn % sc.workers])
+            submit = rig.submit
 
-    clients = OpenLoopClients(kernel, submit, rate_per_sec=rate,
-                              payload_fn=_payload_fn(sc.lock_stripes),
-                              warmup_ns=warmup)
-    box[0] = clients
+        clients = OpenLoopClients(kernel, submit, rate_per_sec=rate,
+                                  payload_fn=_payload_fn(sc.lock_stripes),
+                                  warmup_ns=warmup)
+        box[0] = clients
+        if rig is not None and rig.client is not None:
+            rig.client.on_fail = clients.fail
 
-    # Batch tenant: a small NPB instance so its region structure (and
-    # barrier behavior) is the real one, not a stand-in.  Iterations
-    # scale with the horizon (one iteration per 4 ms) so the two tenants
-    # contend for a comparable fraction of any run length;
-    # progress_actions, not completion, is the batch metric.
-    progress = [0, 0]  # actions retired, threads finished
-    programs, _regions = build_npb_omp(
-        batch_kernel, batch_threads,
-        NpbOmpConfig(iterations=max(3, int(duration_ms / 4.0)),
-                     base_rows=64, seed=sim_config.seed),
-    )
+        # Batch tenant: a small NPB instance so its region structure (and
+        # barrier behavior) is the real one, not a stand-in.  Iterations
+        # scale with the horizon (one iteration per 4 ms) so the two
+        # tenants contend for a comparable fraction of any run length;
+        # progress_actions, not completion, is the batch metric.
+        progress = [0, 0]  # actions retired, threads finished
+        programs, _regions = build_npb_omp(
+            batch_kernel, batch_threads,
+            NpbOmpConfig(iterations=max(3, int(duration_ms / 4.0)),
+                         base_rows=64, seed=sim_config.seed),
+        )
 
-    def counted(gen):
-        for action in gen:
-            yield action
-            progress[0] += 1
-        progress[1] += 1
+        def counted(gen):
+            for action in gen:
+                yield action
+                progress[0] += 1
+            progress[1] += 1
 
-    for i, gen in enumerate(programs):
-        kernel.spawn(counted(gen), name=f"batch.{batch_kernel}{i}")
+        for i, gen in enumerate(programs):
+            kernel.spawn(counted(gen), name=f"batch.{batch_kernel}{i}")
 
-    clients.start()
-    kernel.run_for(horizon)
-    clients.stop()
-    kernel.shutdown()
+        clients.start()
+        kernel.run_for(horizon)
+        clients.stop()
+        if rig is not None:
+            rig.close()
+        clients.cancel_in_flight()
+        kernel.shutdown()
+        tracker.close()
 
-    serve = _serve_result(kernel, clients, tracker, horizon - warmup)
-    # collect() already ran inside _serve_result on the shared kernel;
-    # the per-tenant split below is what colocation analysis needs.
-    return {
-        "serve": serve,
-        "batch": {
-            "kernel": batch_kernel,
-            "threads": batch_threads,
-            "progress_actions": progress[0],
-            "threads_finished": progress[1],
-        },
-    }
+        serve = _serve_result(
+            kernel, clients, tracker, horizon - warmup,
+            resilience=None if rig is None else rig.result(),
+        )
+        # collect() already ran inside _serve_result on the shared kernel;
+        # the per-tenant split below is what colocation analysis needs.
+        return {
+            "serve": serve,
+            "batch": {
+                "kernel": batch_kernel,
+                "threads": batch_threads,
+                "progress_actions": progress[0],
+                "threads_finished": progress[1],
+            },
+        }

@@ -167,6 +167,97 @@ def test_closed_loop_start_staggered():
 
 
 # ---------------------------------------------------------------------------
+# Drain / cancel discipline (shared by both loop shapes)
+# ---------------------------------------------------------------------------
+
+def test_closed_loop_complete_books_once_then_counts_duplicates():
+    k = Kernel(vanilla_config(cores=1, seed=9))
+    pending = []
+    clients = ClosedLoopClients(
+        k, pending.append, connections=2, think_ns=10 * US
+    )
+    clients.start()
+    k.run_for(1 * MS)
+    assert pending and clients.in_flight == len(pending)
+    req = pending[0]
+    assert clients.complete(req) is True
+    assert clients.completed == 1
+    # A second completion of the same request must not re-book or re-arm.
+    assert clients.complete(req) is False
+    assert clients.duplicate_completions == 1
+    assert clients.completed == 1
+
+
+def test_closed_loop_fail_rearms_connection_without_booking():
+    k = Kernel(vanilla_config(cores=1, seed=10))
+    pending = []
+    clients = ClosedLoopClients(
+        k, pending.append, connections=1, think_ns=10 * US
+    )
+    clients.start()
+    k.run_for(1 * MS)
+    assert len(pending) == 1
+    clients.fail(pending[0])
+    assert clients.failed == 1
+    assert clients.completed == 0
+    assert clients.in_flight == 0
+    # The connection thinks and sends again — the loop stays alive.
+    k.run_for(1 * MS)
+    assert len(pending) == 2
+    # Failing a request that is no longer in flight is a no-op.
+    clients.fail(pending[0])
+    assert clients.failed == 1
+
+
+def test_closed_loop_cancel_in_flight_drains_cleanly():
+    k = Kernel(vanilla_config(cores=1, seed=11))
+    pending = []
+    clients = ClosedLoopClients(
+        k, pending.append, connections=4, think_ns=10 * US
+    )
+    clients.start()
+    k.run_for(1 * MS)
+    n = clients.in_flight
+    assert n == 4
+    assert clients.cancel_in_flight() == n
+    assert clients.cancelled == n
+    assert clients.in_flight == 0
+    # Idempotent: a second drain finds nothing outstanding.
+    assert clients.cancel_in_flight() == 0
+    # A straggler completion after the drain is a counted duplicate,
+    # never a latency sample or a re-armed connection.
+    assert clients.complete(pending[0]) is False
+    assert clients.duplicate_completions == 1
+    assert clients.completed == 0
+
+
+def test_open_loop_drain_and_fail_accounting():
+    k = Kernel(vanilla_config(cores=1, seed=12))
+    pending = []
+    clients = OpenLoopClients(k, pending.append, rate_per_sec=10_000)
+    clients.start()
+    k.run_for(2 * MS)
+    clients.stop()
+    assert pending and clients.in_flight == len(pending)
+    assert clients.complete(pending[0]) is True
+    # Open loop: fail() books nothing and arms nothing (arrivals are
+    # independent of completions), it only moves the request out of
+    # flight.
+    clients.fail(pending[1])
+    assert clients.failed == 1
+    sent_before = clients.sent
+    left = clients.cancel_in_flight()
+    assert left == len(pending) - 2
+    assert clients.cancelled == left
+    assert clients.in_flight == 0
+    assert clients.complete(pending[2]) is False
+    assert clients.duplicate_completions == 1
+    assert clients.completed == 1
+    k.run_for(1 * MS)
+    assert clients.sent == sent_before  # stopped: no new arrivals
+
+
+# ---------------------------------------------------------------------------
 # RateSchedule
 # ---------------------------------------------------------------------------
 

@@ -96,6 +96,62 @@ def test_slo_tracker_emits_trace_events():
     assert events[0].detail["end_ns"] > events[0].detail["start_ns"]
 
 
+def test_slo_tracker_sample_exactly_on_warmup_boundary():
+    """A completion landing at exactly t0 opens window 0; one tick
+    earlier is still warmup and must not count anywhere."""
+    k = Kernel(vanilla_config(cores=1, seed=5))
+    tr = SloTracker(k, "t", SloPolicy(p99_target_us=1000.0, window_ms=1.0),
+                    warmup_ns=5 * MS)
+    k.engine.schedule(5 * MS - 1, lambda: tr.record(10 * US))  # warmup
+    k.engine.schedule(5 * MS, lambda: tr.record(10 * US))      # boundary
+    k.run_for(7 * MS)
+    k.shutdown()
+    tr.close()
+    res = tr.result()
+    assert res["windows"] == 1
+    assert res["violations"] == 0
+    assert tr.window_log() == [(0, 1, False)]
+
+
+def test_slo_tracker_zero_window_run():
+    """A run that records nothing closes cleanly: zero windows, 100%
+    compliance, no intervals, empty window log."""
+    k = Kernel(vanilla_config(cores=1, seed=6))
+    tr = SloTracker(k, "t", SloPolicy(p99_target_us=1.0, window_ms=1.0))
+    k.run_for(3 * MS)
+    k.shutdown()
+    tr.close()
+    res = tr.result()
+    assert res["windows"] == 0
+    assert res["violations"] == 0
+    assert res["compliance_pct"] == 100.0
+    assert res["violation_intervals"] == []
+    assert tr.window_log() == []
+    # A straggler after close() cannot reopen a window.
+    tr.record(5 * MS)
+    assert tr.result()["windows"] == 0
+
+
+def test_slo_tracker_window_log_marks_adjacent_violations():
+    """The window log carries per-window verdicts; adjacent violated
+    windows stay distinct in the log even though the *intervals* merge."""
+    k = Kernel(vanilla_config(cores=1, seed=7))
+    tr = SloTracker(k, "t", SloPolicy(p99_target_us=100.0, window_ms=1.0))
+    for w, lat_us in ((0, 50), (1, 500), (2, 500), (3, 50)):
+        for i in range(5):
+            k.engine.schedule(
+                w * MS + i * 10 * US + 1,
+                lambda lat=lat_us: tr.record(lat * US),
+            )
+    k.run_for(5 * MS)
+    k.shutdown()
+    tr.close()
+    assert tr.window_log() == [
+        (0, 5, False), (1, 5, True), (2, 5, True), (3, 5, False)
+    ]
+    assert tr.result()["violation_intervals"] == [[1 * MS, 3 * MS]]
+
+
 def test_analyze_merges_slo_violation_intervals():
     from repro.obs.analyze import slo_violation_intervals
     from repro.sim.trace import TraceEvent
