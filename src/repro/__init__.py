@@ -60,7 +60,9 @@ from .metrics import RunStats, collect, percentile, summarize_latencies
 # invalidates pre-observability cache entries.
 # 1.2.0: cache entries gained schema/sha256 integrity fields (CACHE_SCHEMA
 # 2); the bump gives hardened entries fresh keys.
-__version__ = "1.7.0"
+# 1.8.0: pluggable scheduler policies (repro.kernel.policy).  CFS results
+# are bit-identical, but the bump keys the new sched/* specs cleanly.
+__version__ = "1.8.0"
 
 __all__ = [
     "SimConfig",

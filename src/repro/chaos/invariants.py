@@ -19,8 +19,9 @@ and in ``docs/robustness.md``):
                             (a VB-sentinel entry was selected to run)
 ``rq-key``                  a task's ``rq_key`` disagrees with the tree,
                             its key class disagrees with ``thread_state``,
-                            or a real-keyed entry's key is stale vs. its
-                            vruntime
+                            or a real-keyed entry's key is stale vs. the
+                            policy's ``expected_key`` (the vruntime under
+                            CFS)
 ``nr-blocked``              a queue's incremental VB-blocked counter
                             disagrees with a from-scratch recount
 ``nr-schedulable``          ``nr_schedulable()`` disagrees with a recount
@@ -203,13 +204,15 @@ class InvariantChecker:
                         f"disagrees with thread_state={t.thread_state}",
                         task=t.name,
                     )
-                if not sentinel and key[0] != t.vruntime:
-                    fail(
-                        "rq-key",
-                        f"{t.name} queued under stale vruntime key "
-                        f"{key[0]} != {t.vruntime}",
-                        task=t.name,
-                    )
+                if not sentinel:
+                    expected = k.policy.expected_key(t)
+                    if expected is not None and key[0] != expected:
+                        fail(
+                            "rq-key",
+                            f"{t.name} queued under stale "
+                            f"{k.policy.name} key {key[0]} != {expected}",
+                            task=t.name,
+                        )
                 if sentinel:
                     if t.state is not TaskState.VBLOCKED:
                         fail(

@@ -58,6 +58,14 @@ def cmd_list(_args) -> int:
         ["benchmark", "suite", "group", "sync", "interval (us)"], rows,
         title="modeled benchmarks",
     ))
+    from .kernel.policy import POLICIES, available
+
+    print(format_table(
+        ["policy", "sched class", "description"],
+        [[name, POLICIES[name].sched_class, POLICIES[name].description]
+         for name in available()],
+        title="scheduling policies (--policy; see docs/scheduling.md)",
+    ))
     return 0
 
 
@@ -274,6 +282,13 @@ def cmd_serve(args) -> int:
     if args.resilience or args.faults:
         return _serve_resilience_point(args)
     args.sections = ["serve"]
+    return main_from_args(args)
+
+
+def cmd_sched(args) -> int:
+    from .runners.full_report import main_from_args
+
+    args.sections = ["sched"]
     return main_from_args(args)
 
 
@@ -739,25 +754,38 @@ def cmd_validate(args) -> int:
 
 
 def cmd_docs(args) -> int:
+    from .kernel.policy import update_policy_table
     from .validate.cli_docs import render_cli_md
 
-    text = render_cli_md(build_parser())
-    if args.check:
+    targets = [(args.out, render_cli_md(build_parser()))]
+    sched_md = "docs/scheduling.md"
+    try:
+        with open(sched_md, encoding="utf-8") as f:
+            # The guide is hand-written; only its policy comparison table
+            # (between the BEGIN/END GENERATED markers) is regenerated
+            # from the registry.
+            targets.append((sched_md, update_policy_table(f.read())))
+    except FileNotFoundError:
+        pass
+    rc = EXIT_OK
+    for path, text in targets:
         try:
-            with open(args.out, encoding="utf-8") as f:
+            with open(path, encoding="utf-8") as f:
                 current = f.read()
         except FileNotFoundError:
             current = None
-        if current != text:
-            print(f"{args.out} is stale — regenerate with "
-                  f"`python -m repro docs`", file=sys.stderr)
-            return EXIT_FAILURE
-        print(f"{args.out} is up to date")
-        return EXIT_OK
-    with open(args.out, "w", encoding="utf-8", newline="\n") as f:
-        f.write(text)
-    print(f"wrote {args.out}")
-    return EXIT_OK
+        if args.check:
+            if current != text:
+                print(f"{path} is stale — regenerate with "
+                      f"`python -m repro docs`", file=sys.stderr)
+                rc = EXIT_FAILURE
+            else:
+                print(f"{path} is up to date")
+            continue
+        with open(path, "w", encoding="utf-8", newline="\n") as f:
+            f.write(text)
+        print(f"wrote {path}")
+    return rc
 
 
 def cmd_chaos_plan(args) -> int:
@@ -818,6 +846,14 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="FRAC", help="offered load as a fraction of "
                         "saturation for the ad-hoc point (default 1.2)")
     p.set_defaults(fn=cmd_serve, results="results-serve.json")
+
+    p = sub.add_parser(
+        "sched",
+        help="compare scheduling policies (cfs / eevdf / fifo_rr) at 1x "
+             "and 4x oversubscription; see docs/scheduling.md",
+    )
+    add_report_flags(p)
+    p.set_defaults(fn=cmd_sched, results="results-sched.json")
 
     simple = {
         "fig01": (cmd_fig01, True), "fig02": (cmd_fig02, False),
@@ -1052,10 +1088,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_docs)
 
     # Every command that builds kernels honors the process-global hot
-    # core selection (repro.fastpath).  Parsing-only commands have
-    # nothing to accelerate, and the chaos parent delegates to its own
-    # subcommands below.
+    # core selection (repro.fastpath) and the process-global scheduling
+    # policy (repro.kernel.policy).  Parsing-only commands have nothing
+    # to accelerate or schedule, and the chaos parent delegates to its
+    # own subcommands below.
     from .fastpath import add_backend_argument
+    from .kernel.policy import add_policy_argument
 
     backendless = {"list", "analyze", "validate", "docs", "chaos"}
     seen: set[int] = set()
@@ -1064,9 +1102,11 @@ def build_parser() -> argparse.ArgumentParser:
             continue
         seen.add(id(sp))
         add_backend_argument(sp)
+        add_policy_argument(sp)
     for name, cp in csub._name_parser_map.items():
         if name != "plan":
             add_backend_argument(cp)
+            add_policy_argument(cp)
 
     return ap
 
@@ -1074,8 +1114,10 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     from .fastpath import apply_backend_argument
+    from .kernel.policy import apply_policy_argument
 
     apply_backend_argument(args)
+    apply_policy_argument(args)
     try:
         return args.fn(args)
     except BrokenPipeError:  # e.g. ``python -m repro list | head``

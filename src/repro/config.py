@@ -232,12 +232,20 @@ class SimConfig:
     # engine events.  Read-only: enabling it never changes results, only
     # adds checking cost.  Also switchable via REPRO_CHECK_INVARIANTS=1.
     check_invariants: bool = False
+    # Scheduling policy (repro.kernel.policy registry): None defers to the
+    # process-wide default (REPRO_POLICY / --policy, "cfs" out of the box).
+    policy: str | None = None
 
     def __post_init__(self) -> None:
         if self.online_cpus is not None and self.online_cpus < 1:
             raise ConfigError("online_cpus must be >= 1")
         if self.ple.enabled and self.mode is not ExecMode.VM:
             raise ConfigError("PLE is only available in VM mode")
+        if self.policy not in (None, "cfs"):
+            # Lazy import: kernel.policy imports this module's siblings.
+            from .kernel.policy import validate_policy_name
+
+            validate_policy_name(self.policy)
 
     def replace(self, **kwargs) -> "SimConfig":
         """Return a copy with the given top-level fields replaced."""
@@ -250,6 +258,7 @@ def vanilla_config(
     smt: bool = False,
     mode: ExecMode = ExecMode.CONTAINER,
     seed: int = 2021,
+    policy: str | None = None,
     **hw_overrides,
 ) -> SimConfig:
     """Vanilla Linux: no VB, no BWD, no PLE.
@@ -259,7 +268,9 @@ def vanilla_config(
     are 2 hyperthreads on each of ``cores/2`` physical cores.
     """
     hw = HardwareConfig(smt=2 if smt else 1, **hw_overrides)
-    return SimConfig(hardware=hw, mode=mode, online_cpus=cores, seed=seed)
+    return SimConfig(
+        hardware=hw, mode=mode, online_cpus=cores, seed=seed, policy=policy
+    )
 
 
 def optimized_config(
@@ -270,6 +281,7 @@ def optimized_config(
     seed: int = 2021,
     vb: bool = True,
     bwd: bool = True,
+    policy: str | None = None,
     **hw_overrides,
 ) -> SimConfig:
     """The paper's kernel: virtual blocking + busy-waiting detection."""
@@ -281,10 +293,17 @@ def optimized_config(
         seed=seed,
         vb=VirtualBlockingConfig(enabled=vb),
         bwd=BwdConfig(enabled=bwd),
+        policy=policy,
     )
 
 
-def ple_config(cores: int = 8, *, seed: int = 2021, **hw_overrides) -> SimConfig:
+def ple_config(
+    cores: int = 8,
+    *,
+    seed: int = 2021,
+    policy: str | None = None,
+    **hw_overrides,
+) -> SimConfig:
     """KVM guest with pause-loop-exiting enabled (no VB/BWD)."""
     hw = HardwareConfig(smt=1, **hw_overrides)
     return SimConfig(
@@ -293,4 +312,5 @@ def ple_config(cores: int = 8, *, seed: int = 2021, **hw_overrides) -> SimConfig
         online_cpus=cores,
         seed=seed,
         ple=PleConfig(enabled=True),
+        policy=policy,
     )

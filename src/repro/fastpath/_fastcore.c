@@ -788,6 +788,7 @@ typedef struct {
     Py_buffer board_size_buf, board_blocked_buf;
     long long fast_events;     /* events fully handled in C */
     long long bailouts;        /* events handed back to Python */
+    int policy_is_cfs;         /* 0: non-CFS policy, bail every event */
 } CycleObject;
 
 static PyTypeObject CycleType;
@@ -1931,6 +1932,15 @@ cycle_cpu_event(CycleObject *c, PyObject *args)
 
     if (!PyArg_ParseTuple(args, "LL", &cpu_id, &gen))
         return NULL;
+    /* Non-CFS scheduling policy -> the Python path owns the event: its
+     * pick/preempt/slice decisions live in SchedPolicy hooks this
+     * inlined CFS cycle does not replay. */
+    if (!c->policy_is_cfs) {
+        if (bail_call(c, s_m_cpu_event, PyTuple_GET_ITEM(args, 0),
+                      PyTuple_GET_ITEM(args, 1)) < 0)
+            return NULL;
+        Py_RETURN_NONE;
+    }
     /* Tracing on -> the Python path owns the event (it emits records
      * at several points this fast path skips). */
     trace = oget(c->kernel, s_trace);
@@ -2308,6 +2318,17 @@ cycle_new(PyTypeObject *type, PyObject *args, PyObject *Py_UNUSED(kwargs))
         if (ok) {
             c->rq_type = rt;
             c->rq_fast = 1;
+        }
+    }
+    /* Optional policy gate (absent in older support dicts -> CFS). */
+    {
+        PyObject *po = PyDict_GetItemString(support, "POLICY_IS_CFS");
+        c->policy_is_cfs = 1;
+        if (po != NULL) {
+            int t = PyObject_IsTrue(po);
+            if (t < 0)
+                goto fail;
+            c->policy_is_cfs = t;
         }
     }
     c->self_cb = PyObject_GetAttrString((PyObject *)c, "cpu_event");

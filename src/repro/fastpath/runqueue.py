@@ -114,6 +114,7 @@ class FastCfsRunqueue:
         "_heap",
         "_n_stale",
         "_board",
+        "key_fn",
     )
 
     def __init__(self, cpu_id: int):
@@ -123,6 +124,9 @@ class FastCfsRunqueue:
         self._seq = 0
         self.nr_blocked = 0
         self.nr_enqueues = 0
+        # Non-CFS policies install their queue_key hook here (same
+        # contract as the pure runqueue); None = inlined CFS keying.
+        self.key_fn = None
         # Entries are (k0, seq, key, task): comparison never reaches
         # `key`/`task` because `seq` is unique.  An entry is live iff
         # `task.rq_key is key` (the exact tuple object, so a task
@@ -167,6 +171,9 @@ class FastCfsRunqueue:
         self._seq += 1
         if task.thread_state:
             return (VB_SENTINEL + self._seq, self._seq)
+        kf = self.key_fn
+        if kf is not None:
+            return (kf(task), self._seq)
         return (task.vruntime, self._seq)
 
     def enqueue(self, task: Task) -> None:
@@ -252,10 +259,19 @@ class FastCfsRunqueue:
         vr = None
         if curr is not None and curr.thread_state == 0:
             vr = curr.vruntime
-        if self._settle():
-            k0 = self._heap[0][0]
-            if k0 < VB_SENTINEL and (vr is None or k0 < vr):
-                vr = k0
+        if self.key_fn is None:
+            if self._settle():
+                k0 = self._heap[0][0]
+                if k0 < VB_SENTINEL and (vr is None or k0 < vr):
+                    vr = k0
+        else:
+            # Policy keys are not vruntimes: scan the live entries for
+            # the true vruntime floor (non-CFS policies only).
+            for e in self._heap:
+                t = e[3]
+                if (t.rq_key is e[2] and t.thread_state == 0
+                        and (vr is None or t.vruntime < vr)):
+                    vr = t.vruntime
         if vr is not None and vr > self.min_vruntime:
             self.min_vruntime = vr
 

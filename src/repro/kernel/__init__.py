@@ -1,9 +1,13 @@
-"""Simulated OS kernel: tasks, CFS scheduling, futex, epoll, load balancing."""
+"""Simulated OS kernel: tasks, pluggable scheduling, futex, epoll,
+load balancing.  Scheduling *policy* (pick order, placement, preemption,
+slicing) lives in :mod:`repro.kernel.policy`; this package's kernel is
+the shared mechanism every policy runs on."""
 
 from .task import Task, TaskState, RunMode, ExecProfile, nice_to_weight
 from .runqueue import CfsRunqueue, VB_SENTINEL
 from .locks import SimLockTimeline
 from .futex import FutexTable, FutexBucket
+from .policy import SchedPolicy, available, current_policy, get_policy
 from .kernel import Kernel
 
 __all__ = [
@@ -17,5 +21,9 @@ __all__ = [
     "SimLockTimeline",
     "FutexTable",
     "FutexBucket",
+    "SchedPolicy",
+    "available",
+    "current_policy",
+    "get_policy",
     "Kernel",
 ]

@@ -49,6 +49,7 @@ from .epoll import EpollInstance
 from .futex import FutexTable
 from .hrtimer import HrTimer
 from .locks import SimLockTimeline
+from .policy import current_policy, get_policy
 from .runqueue import VB_SENTINEL, CfsRunqueue
 from .task import ExecProfile, RunMode, Task, TaskState
 
@@ -120,6 +121,15 @@ class Kernel:
         trace: TraceRecorder | None = None,
     ):
         self.config = config
+        # Scheduling policy (docs/scheduling.md): SimConfig.policy wins,
+        # else the process-global default (--policy / REPRO_POLICY).  The
+        # default CFS keeps the kernel's historical inlined decision
+        # paths — bit-identical and KernelCycle-eligible; other policies
+        # route those decisions through the SchedPolicy hooks.
+        pol = config.policy if config.policy is not None else current_policy()
+        self.policy = get_policy(pol)
+        self.policy.configure(config.scheduler)
+        self._policy_cfs = self.policy.inline_fast_path
         self.engine = engine or make_engine()
         # An enclosing observe() session supplies the recorder (and an
         # interval sampler) unless the caller passed an explicit trace.
@@ -165,6 +175,12 @@ class Kernel:
             if sib is not None and sib < len(self.cpus):
                 cpu.sib = self.cpus[sib]
         self._smt_factor = hw.smt_throughput_factor
+        if not self._policy_cfs:
+            # Non-CFS policies key the runqueues themselves (the VB
+            # sentinel still wins inside _key_for, for every policy).
+            key_fn = self.policy.queue_key
+            for cpu in self.cpus:
+                cpu.rq.key_fn = key_fn
 
         # Struct-of-arrays load board (fast backend, wide machines):
         # runqueues write-through size/blocked so balance scans run as
@@ -307,7 +323,13 @@ class Kernel:
             core = load_fastcore()
             if core is not None and hasattr(core, "KernelCycle"):
                 try:
-                    self._cycle = core.KernelCycle(self, _cycle_support())
+                    support = _cycle_support()
+                    # Non-CFS policies make scheduling decisions in
+                    # Python; the C cycle bails out per event (counted
+                    # in counters()["bailouts"]) instead of replaying
+                    # its inlined CFS logic.
+                    support["POLICY_IS_CFS"] = 1 if self._policy_cfs else 0
+                    self._cycle = core.KernelCycle(self, support)
                     self._cpu_event_entry = self._cycle.cpu_event
                 except Exception:
                     self._cycle = None
@@ -587,8 +609,10 @@ class Kernel:
         cpu.run_started = now
 
     def _calc_slice(self, cpu: CpuState) -> int:
-        sched = self.config.scheduler
         nr = max(1, cpu.rq.nr_schedulable())
+        if not self._policy_cfs:
+            return self.policy.slice_ns(nr)
+        sched = self.config.scheduler
         sl = sched.sched_latency_ns // nr
         return max(sched.min_granularity_ns, min(sched.regular_slice_ns, sl))
 
@@ -618,7 +642,10 @@ class Kernel:
                 cpu.poll_idle_since = now
             self._cancel_cpu_event(cpu)
             return
-        task = cpu.rq.pick_next()
+        if self._policy_cfs:
+            task = cpu.rq.pick_next()
+        else:
+            task = self.policy.pick_next(cpu.rq)
         cpu.rq.curr = task
         self._dispatch(cpu, task)
 
@@ -672,11 +699,14 @@ class Kernel:
             else 1.0
         )
         nr = cpu.rq.nr_schedulable()
-        sl = sched.sched_latency_ns // (nr if nr > 1 else 1)
-        if sl > sched.regular_slice_ns:
-            sl = sched.regular_slice_ns
-        if sl < sched.min_granularity_ns:
-            sl = sched.min_granularity_ns
+        if self._policy_cfs:
+            sl = sched.sched_latency_ns // (nr if nr > 1 else 1)
+            if sl > sched.regular_slice_ns:
+                sl = sched.regular_slice_ns
+            if sl < sched.min_granularity_ns:
+                sl = sched.min_granularity_ns
+        else:
+            sl = self.policy.slice_ns(nr if nr > 1 else 1)
         cpu.slice_end = now + delay + sl
         cpu.rq.update_min_vruntime()
         if self.trace.enabled:
@@ -795,15 +825,21 @@ class Kernel:
             return
         if now >= cpu.slice_end:
             task.stats.nr_slice_expiries += 1
-            head = cpu.rq.peek_next()
-            if head is not None and not head.thread_state:
+            if self._policy_cfs:
+                head = cpu.rq.peek_next()
+                preempt = head is not None and not head.thread_state
+            else:
+                preempt = self.policy.tick_preempt(cpu.rq, task)
+                head = cpu.rq.peek_next() if self.trace.enabled else None
+            if preempt:
                 # Involuntary preemption at slice expiry.
                 task.stats.nr_involuntary += 1
                 if self.trace.enabled:
                     self.trace.emit(now, "slice-expiry", cpu.id, task.name,
                                     preempted=True)
                     self.trace.emit(now, "preempt", cpu.id, task.name,
-                                    reason="slice-expiry", by=head.name)
+                                    reason="slice-expiry",
+                                    by=head.name if head is not None else None)
                 self._put_prev_runnable(cpu)
                 self._schedule(cpu)
                 return
@@ -1410,9 +1446,12 @@ class Kernel:
         task.wake_completed = True
         task.woken_at = now
         task.stats.nr_wakeups += 1
-        cpu.rq.place_vruntime(
-            task, self.config.scheduler.sched_latency_ns // 2
-        )
+        if self._policy_cfs:
+            cpu.rq.place_vruntime(
+                task, self.config.scheduler.sched_latency_ns // 2
+            )
+        else:
+            self.policy.place_wakeup(cpu.rq, task)
         cpu.rq.enqueue(task)
         if self.trace.enabled:
             self.trace.emit(now, "wake", target, task.name, how="vanilla")
@@ -1504,9 +1543,12 @@ class Kernel:
         task.vruntime = (
             task.vruntime - home.rq.min_vruntime + cpu.rq.min_vruntime
         )
-        cpu.rq.place_vruntime(
-            task, self.config.scheduler.sched_latency_ns // 2
-        )
+        if self._policy_cfs:
+            cpu.rq.place_vruntime(
+                task, self.config.scheduler.sched_latency_ns // 2
+            )
+        else:
+            self.policy.place_wakeup(cpu.rq, task)
         cpu.rq.enqueue(task)
         if self.trace.enabled:
             self.trace.emit(now, "wake", target, task.name, how="vb-placed")
@@ -1528,8 +1570,12 @@ class Kernel:
                 self._schedule(cpu)
             return
         self._sync_current(cpu)
-        gran = self.config.scheduler.wakeup_granularity_ns
-        if curr.vruntime - woken.vruntime > gran:
+        if self._policy_cfs:
+            gran = self.config.scheduler.wakeup_granularity_ns
+            preempt = curr.vruntime - woken.vruntime > gran
+        else:
+            preempt = self.policy.check_preempt(curr, woken)
+        if preempt:
             curr.stats.nr_involuntary += 1
             if self.trace.enabled:
                 self.trace.emit(self.now, "preempt", cpu.id, curr.name,
@@ -1687,6 +1733,8 @@ class Kernel:
             if busiest is None:
                 return None
         cands = self._migratable(busiest.rq.steal_candidates())
+        if not self._policy_cfs:
+            cands = list(self.policy.steal_order(cands))
         if not cands:
             return None
         task = cands[int(self._rng_sched.integers(0, len(cands)))]
@@ -1758,6 +1806,8 @@ class Kernel:
             src = self.cpus[busiest_id]
             dst = self.cpus[idlest_id]
             cands = self._migratable(src.rq.steal_candidates())
+            if not self._policy_cfs:
+                cands = list(self.policy.steal_order(cands))
             if not cands:
                 return
             task = cands[int(self._rng_sched.integers(0, len(cands)))]

@@ -1,0 +1,14 @@
+"""Built-in scheduling policies.
+
+Importing this package populates ``repro.kernel.policy.POLICIES``;
+each module registers its class with the ``@register`` decorator.
+Third-party policies only need to subclass
+:class:`~repro.kernel.policy.SchedPolicy` and register — see
+``docs/scheduling.md`` for the write-a-policy walkthrough.
+"""
+
+from .cfs import CfsPolicy
+from .eevdf import EevdfPolicy
+from .fifo_rr import FifoRrPolicy
+
+__all__ = ["CfsPolicy", "EevdfPolicy", "FifoRrPolicy"]

@@ -1,0 +1,54 @@
+"""Fixed-priority FIFO with a round-robin slice (SCHED_RR-like).
+
+The queue key is the static priority (``nice + 20``; lower sorts
+first), with the runqueue's monotonic sequence number breaking ties —
+so within a priority class the queue is FIFO by construction, and
+re-enqueueing an expired task (which draws a fresh sequence number)
+*is* the round-robin rotation.  Slices are a fixed quantum; wakeups
+only preempt strictly lower-priority tasks; vruntime keeps advancing
+(mechanism-side accounting) but never orders the queue.
+
+VB parks land at the sentinel tail as under every policy, and a BWD
+skip-flag push only touches vruntime, so a descheduled spinner simply
+goes to the back of its priority class — the RR rotation the paper's
+deschedule wants.
+"""
+
+from __future__ import annotations
+
+from ..policy import SchedPolicy, register
+
+
+@register
+class FifoRrPolicy(SchedPolicy):
+    name = "fifo_rr"
+    sched_class = "fixed priority"
+    description = "fixed-priority FIFO queues with a round-robin quantum"
+    slice_model = "fixed quantum: `regular_slice`"
+    preempt_rule = ("wakeup: strictly higher priority (lower nice); "
+                    "tick: head priority at or above curr (RR in class)")
+
+    @staticmethod
+    def _prio(task) -> int:
+        return task.nice + 20
+
+    def queue_key(self, task) -> int:
+        return self._prio(task)
+
+    def expected_key(self, task) -> int | None:
+        return self._prio(task)
+
+    def place_wakeup(self, rq, task) -> None:
+        # Priority is static; a woken task just joins its class's tail.
+        pass
+
+    def check_preempt(self, curr, woken) -> bool:
+        return self._prio(woken) < self._prio(curr)
+
+    def tick_preempt(self, rq, curr) -> bool:
+        head = rq.peek_next()
+        return (head is not None and not head.thread_state
+                and self._prio(head) <= self._prio(curr))
+
+    def slice_ns(self, nr_schedulable: int) -> int:
+        return self.sched.regular_slice_ns

@@ -41,6 +41,9 @@ class CfsRunqueue:
         self._seq = 0
         self.nr_blocked = 0  # sentinel-keyed (VB-blocked) entries in tree
         self.nr_enqueues = 0
+        # Non-CFS policies install their queue_key hook here; None keeps
+        # the historical inlined vruntime keying (and its O(1) min path).
+        self.key_fn = None
 
     # ------------------------------------------------------------------
     # Size / load
@@ -87,6 +90,9 @@ class CfsRunqueue:
         self._seq += 1
         if task.thread_state:
             return (VB_SENTINEL + self._seq, self._seq)
+        kf = self.key_fn
+        if kf is not None:
+            return (kf(task), self._seq)
         return (task.vruntime, self._seq)
 
     def enqueue(self, task: Task) -> None:
@@ -142,11 +148,19 @@ class CfsRunqueue:
         if curr is not None and curr.thread_state == 0:
             vr = curr.vruntime
         tree = self.tree
-        if tree.size:
-            key = tree.min_item()[0]
-            k0 = key[0]
-            if k0 < VB_SENTINEL and (vr is None or k0 < vr):
-                vr = k0
+        if self.key_fn is None:
+            if tree.size:
+                key = tree.min_item()[0]
+                k0 = key[0]
+                if k0 < VB_SENTINEL and (vr is None or k0 < vr):
+                    vr = k0
+        else:
+            # Policy keys are not vruntimes, so the leftmost key says
+            # nothing about the vruntime floor — scan the live entries
+            # (cold: only non-CFS policies take this branch).
+            for t in tree.values():
+                if t.thread_state == 0 and (vr is None or t.vruntime < vr):
+                    vr = t.vruntime
         if vr is not None and vr > self.min_vruntime:
             self.min_vruntime = vr
 

@@ -915,6 +915,61 @@ def _render_serve(p: ReportParams, res: dict, out: TextIO) -> None:
           f"policy-off {ident['digest_policy_off'][:12]})\n", file=out)
 
 
+_SCHED_LOADS = (("1x", 8), ("4x", 32))
+
+
+def _specs_sched(p: ReportParams) -> list[ExperimentSpec]:
+    from ..kernel.policy import available
+
+    specs = []
+    for pol in available():
+        # For CFS the descriptors carry no "policy" key, so these specs
+        # share cache keys (and results, byte for byte) with
+        # fig09/streamcluster/{8T,32T} and fig02/per_switch.
+        cfg = vanilla_desc(8, p.seed, policy=pol)
+        for label, nthreads in _SCHED_LOADS:
+            specs.append(ExperimentSpec(
+                id=f"sched/{pol}/{label}",
+                runner="suite_point",
+                params={"name": "streamcluster", "nthreads": nthreads,
+                        "config": cfg, "work_scale": p.scale},
+                seed=p.seed,
+            ))
+        specs.append(ExperimentSpec(
+            id=f"sched/{pol}/switch",
+            runner="per_switch",
+            params={"nthreads": 8,
+                    "config": vanilla_desc(1, p.seed, policy=pol)},
+            seed=p.seed,
+        ))
+    return specs
+
+
+def _render_sched(p: ReportParams, res: dict, out: TextIO) -> None:
+    from ..kernel.policy import POLICIES, available
+
+    base4 = res["sched/cfs/4x"]["duration_ns"]
+    rows = []
+    for pol in available():
+        d1 = res[f"sched/{pol}/1x"]["duration_ns"]
+        d4 = res[f"sched/{pol}/4x"]["duration_ns"]
+        cs4 = res[f"sched/{pol}/4x"]["stats"]["context_switches"]
+        sw = res[f"sched/{pol}/switch"]["per_switch_ns"]
+        rows.append([
+            pol, POLICIES[pol].sched_class, d1 / 1e6, d4 / 1e6,
+            d4 / d1, d4 / base4, cs4, f"{sw:.0f}",
+        ])
+    print(format_table(
+        ["policy", "sched class", "1x ms", "4x ms", "4x/1x",
+         "4x vs cfs", "cs @4x", "switch ns"],
+        rows, float_fmt="{:.2f}",
+        title="streamcluster on 8 cores: 8T (1x) vs 32T (4x) per policy",
+    ), file=out)
+    print("cfs rows reuse the fig02/fig09 cache entries byte-for-byte; "
+          "eevdf and fifo_rr are policy-layer additions beyond the paper\n",
+          file=out)
+
+
 @dataclass(frozen=True)
 class Section:
     key: str
@@ -951,6 +1006,9 @@ SECTIONS: list[Section] = [
             _specs_table3, _render_table3),
     Section("serve", "Heavy-traffic serving — open-loop bursts, SLOs, "
             "colocation (beyond the paper)", _specs_serve, _render_serve),
+    Section("sched", "Scheduler policies — CFS vs EEVDF vs FIFO-RR at 1x "
+            "and 4x oversubscription (beyond the paper)",
+            _specs_sched, _render_sched),
 ]
 
 

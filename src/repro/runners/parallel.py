@@ -48,6 +48,7 @@ from ..config import (
 )
 from ..errors import ReproError
 from ..hw.memmodel import AccessPattern, MemoryModel
+from ..kernel.policy import current_policy
 from ..config import HardwareConfig
 from ..sync import McsTp, Mutexee, ShflLock
 from ..workloads.memcached import MemcachedConfig, memcached_run
@@ -88,46 +89,71 @@ class ExperimentError(ReproError):
 # =====================================================================
 # Config descriptors — JSON-serializable stand-ins for SimConfig
 # =====================================================================
+def _with_policy(d: dict, policy: str | None) -> dict:
+    """Record the scheduling policy in a config descriptor.
+
+    The ``"policy"`` key is only present for non-CFS policies, so every
+    descriptor (and therefore every cache key and fixture entry) written
+    before the policy layer existed stays byte-identical.
+    """
+    pol = policy if policy is not None else current_policy()
+    if pol != "cfs":
+        d["policy"] = pol
+    return d
+
+
 def vanilla_desc(cores: int, seed: int, *, smt: bool = False,
-                 mode: str = "container") -> dict:
-    return {"kind": "vanilla", "cores": cores, "seed": seed, "smt": smt,
-            "mode": mode}
+                 mode: str = "container",
+                 policy: str | None = None) -> dict:
+    return _with_policy(
+        {"kind": "vanilla", "cores": cores, "seed": seed, "smt": smt,
+         "mode": mode}, policy)
 
 
 def optimized_desc(cores: int, seed: int, *, smt: bool = False,
                    mode: str = "container", vb: bool = True,
-                   bwd: bool = True) -> dict:
-    return {"kind": "optimized", "cores": cores, "seed": seed, "smt": smt,
-            "mode": mode, "vb": vb, "bwd": bwd}
+                   bwd: bool = True, policy: str | None = None) -> dict:
+    return _with_policy(
+        {"kind": "optimized", "cores": cores, "seed": seed, "smt": smt,
+         "mode": mode, "vb": vb, "bwd": bwd}, policy)
 
 
-def ple_desc(cores: int, seed: int) -> dict:
-    return {"kind": "ple", "cores": cores, "seed": seed}
+def ple_desc(cores: int, seed: int, *, policy: str | None = None) -> dict:
+    return _with_policy({"kind": "ple", "cores": cores, "seed": seed}, policy)
 
 
 def suite_opt_desc(name: str, cores: int, seed: int, *,
-                   smt: bool = False) -> dict:
+                   smt: bool = False, policy: str | None = None) -> dict:
     """The paper's per-section 'optimized' kernel: VB for blocking
     workloads (Section 4.2), BWD for spinning ones (Section 4.3)."""
     spinning = SUITE[name].group is Group.SUFFER_SPINNING
-    return optimized_desc(cores, seed, smt=smt, vb=not spinning, bwd=spinning)
+    return optimized_desc(cores, seed, smt=smt, vb=not spinning,
+                          bwd=spinning, policy=policy)
 
 
 def make_config(desc: dict) -> SimConfig:
     kind = desc["kind"]
+    # A descriptor with no "policy" key *is* a CFS descriptor (the key is
+    # omitted for byte-compatibility with pre-policy descriptors), so pin
+    # CFS rather than deferring to the process default: a worker running
+    # under ``--policy eevdf`` must still execute CFS-keyed specs as CFS.
+    policy = desc.get("policy", "cfs")
     if kind == "vanilla":
         return vanilla_config(
             cores=desc["cores"], smt=desc.get("smt", False),
             mode=ExecMode(desc.get("mode", "container")), seed=desc["seed"],
+            policy=policy,
         )
     if kind == "optimized":
         return optimized_config(
             cores=desc["cores"], smt=desc.get("smt", False),
             mode=ExecMode(desc.get("mode", "container")), seed=desc["seed"],
             vb=desc.get("vb", True), bwd=desc.get("bwd", True),
+            policy=policy,
         )
     if kind == "ple":
-        return ple_config(cores=desc["cores"], seed=desc["seed"])
+        return ple_config(cores=desc["cores"], seed=desc["seed"],
+                          policy=policy)
     raise ExperimentError(f"unknown config kind {kind!r}")
 
 

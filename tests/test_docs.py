@@ -78,6 +78,21 @@ def test_docs_check_cli(tmp_path, capsys):
     assert "stale" in capsys.readouterr().err
 
 
+def test_scheduling_md_policy_table_is_fresh():
+    from repro.kernel.policy import update_policy_table
+    committed = (REPO / "docs" / "scheduling.md").read_text(encoding="utf-8")
+    assert update_policy_table(committed) == committed, (
+        "docs/scheduling.md policy table is stale — regenerate with "
+        "`python -m repro docs`")
+
+
+def test_scheduling_md_is_linked_from_readme_and_architecture():
+    assert "docs/scheduling.md" in (REPO / "README.md").read_text(
+        encoding="utf-8")
+    assert "docs/scheduling.md" in (
+        REPO / "docs" / "architecture.md").read_text(encoding="utf-8")
+
+
 # -------------------------------------------------- command-example drift
 
 def test_readme_and_docs_reference_only_real_subcommands():
@@ -94,6 +109,93 @@ def test_readme_and_docs_reference_only_real_subcommands():
             assert cmd in choices, (
                 f"{path.name} references unknown subcommand "
                 f"`python -m repro {cmd}`")
+
+
+def _all_option_strings(parser) -> set[str]:
+    """Every ``--flag`` reachable in an argparse tree (subparsers too)."""
+    opts: set[str] = set()
+    stack = [parser]
+    seen: set[int] = set()
+    while stack:
+        p = stack.pop()
+        if id(p) in seen:
+            continue
+        seen.add(id(p))
+        for action in p._actions:
+            opts.update(o for o in action.option_strings
+                        if o.startswith("--"))
+            choices = getattr(action, "choices", None)
+            if isinstance(choices, dict):
+                stack.extend(v for v in choices.values()
+                             if hasattr(v, "_actions"))
+    return opts
+
+
+# Flags documented for tools other than ``python -m repro``: pip, the
+# pytest benchmark runner, and the perf harness's own script
+# (``benchmarks/perf/run.py`` builds its parser inside main()).
+_NON_REPRO_FLAGS = {
+    "--no-build-isolation",              # pip (README install section)
+    "--benchmark-only",                  # pytest-benchmark (README)
+    "--check-baseline", "--write-baseline", "--tolerance", "--output",
+    "--json",                            # benchmarks/perf/run.py
+}
+
+_FLAG = re.compile(r"(?<![\w-])--[a-z][a-z0-9-]+")
+_SRC_PATH = re.compile(r"src/repro/[A-Za-z0-9_./-]*[A-Za-z0-9_/-]")
+
+
+def test_every_documented_flag_resolves():
+    """Any ``--flag`` a doc mentions must exist in the CLI (or be an
+    explicitly allowlisted external tool's flag) — stale flags rot docs."""
+    known = _all_option_strings(build_parser()) | _NON_REPRO_FLAGS
+    sources = [REPO / "README.md", *sorted((REPO / "docs").glob("*.md"))]
+    unknown: dict[str, set[str]] = {}
+    for path in sources:
+        for flag in _FLAG.findall(path.read_text(encoding="utf-8")):
+            if flag not in known:
+                unknown.setdefault(flag, set()).add(path.name)
+    assert not unknown, f"docs mention unknown flags: {unknown}"
+
+
+def test_every_documented_src_path_resolves():
+    """Any ``src/repro/...`` path a doc mentions must exist on disk."""
+    sources = [REPO / "README.md", *sorted((REPO / "docs").glob("*.md")),
+               REPO / "EXPERIMENTS.md", REPO / "DESIGN.md"]
+    missing: dict[str, set[str]] = {}
+    for path in sources:
+        for ref in _SRC_PATH.findall(path.read_text(encoding="utf-8")):
+            if not (REPO / ref).exists():
+                missing.setdefault(ref, set()).add(path.name)
+    assert not missing, f"docs reference missing paths: {missing}"
+
+
+def test_documented_dotted_modules_resolve():
+    """``repro.foo.bar`` dotted references in the hand-written docs must
+    import (generated docs are covered by their own freshness gates)."""
+    import importlib
+
+    pattern = re.compile(r"\brepro(?:\.[a-z_][a-z0-9_]*)+\b")
+    sources = [REPO / "README.md", *sorted((REPO / "docs").glob("*.md"))]
+    bad: dict[str, set[str]] = {}
+    for path in sources:
+        if path.name == "cli.md":
+            continue
+        for ref in set(pattern.findall(path.read_text(encoding="utf-8"))):
+            module, attr = ref, None
+            try:
+                importlib.import_module(module)
+                continue
+            except ImportError:
+                module, _, attr = ref.rpartition(".")
+            try:
+                mod = importlib.import_module(module)
+            except ImportError:
+                bad.setdefault(ref, set()).add(path.name)
+                continue
+            if not hasattr(mod, attr):
+                bad.setdefault(ref, set()).add(path.name)
+    assert not bad, f"docs reference unimportable repro modules: {bad}"
 
 
 # ----------------------------------------------------------- exit codes
